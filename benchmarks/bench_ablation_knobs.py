@@ -1,0 +1,80 @@
+"""Ablations of the multilevel knobs the paper fixes by fiat.
+
+Three sweeps on one representative mesh:
+
+* **KL early-exit x** — the paper: "The choice of x = 50 works quite well
+  for all our graphs";
+* **coarsest-graph size** — the paper coarsens to ~100 vertices;
+* **BKLGR boundary switch** — the paper switches BKLR→BGR at a boundary of
+  2 % of |V₀|.
+
+Each sweep reports cut and wall time so the trade-off each default buys is
+visible.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import Row, bench_seed, format_table
+from repro.core import partition
+from repro.core.options import DEFAULT_OPTIONS
+from repro.matrices import suite
+
+from conftest import DEFAULT_SCALE, record_report
+
+
+def _sweep(graph, configs, seed):
+    rows = []
+    for label, options in configs:
+        t0 = time.perf_counter()
+        result = partition(graph, 32, options, np.random.default_rng(seed))
+        rows.append(
+            Row("BRACK2", label,
+                {"32EC": result.cut, "wall": time.perf_counter() - t0})
+        )
+    return rows
+
+
+def test_ablation_kl_early_exit(benchmark):
+    graph = suite.load("BRACK2", scale=DEFAULT_SCALE, seed=0)
+    seed = bench_seed()
+    configs = [
+        (f"x={x}", DEFAULT_OPTIONS.with_(kl_early_exit=x))
+        for x in (5, 20, 50, 150, 400)
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(graph, configs, seed),
+                              rounds=1, iterations=1)
+    record_report(format_table(rows, ["32EC", "wall"],
+                               title="Ablation: KL early-exit x (paper: 50)"))
+    assert all(r.values["32EC"] > 0 for r in rows)
+
+
+def test_ablation_coarsen_to(benchmark):
+    graph = suite.load("BRACK2", scale=DEFAULT_SCALE, seed=0)
+    seed = bench_seed()
+    configs = [
+        (f"coarsen_to={c}", DEFAULT_OPTIONS.with_(coarsen_to=c))
+        for c in (25, 50, 100, 400, 1600)
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(graph, configs, seed),
+                              rounds=1, iterations=1)
+    record_report(format_table(rows, ["32EC", "wall"],
+                               title="Ablation: coarsest-graph size (paper: ~100)"))
+    assert all(r.values["32EC"] > 0 for r in rows)
+
+
+def test_ablation_bklgr_switch(benchmark):
+    graph = suite.load("BRACK2", scale=DEFAULT_SCALE, seed=0)
+    seed = bench_seed()
+    configs = [
+        (f"switch={f}", DEFAULT_OPTIONS.with_(bklgr_boundary_fraction=f))
+        for f in (0.0, 0.01, 0.02, 0.10, 1.0)
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(graph, configs, seed),
+                              rounds=1, iterations=1)
+    record_report(format_table(
+        rows, ["32EC", "wall"],
+        title="Ablation: BKLGR boundary switch (paper: 0.02; 0.0=BGR, 1.0=BKLR)",
+    ))
+    assert all(r.values["32EC"] > 0 for r in rows)

@@ -1,0 +1,46 @@
+"""Figure 1: our multilevel algorithm vs multilevel spectral bisection.
+
+Per matrix, plots (here: tabulates) the ratio of our edge-cut to MSB's for
+three part counts.  Paper part counts (64, 128, 256) are scaled to
+(16, 32, 64) to match the scaled-down graph orders.
+
+Expected shape: ratio < 1 for almost every matrix ("for almost all the
+problems, our algorithm produces partitions that have smaller edge-cuts
+than those produced by MSB"), with MSB competitive only on a few and never
+winning by more than ~1 %.
+"""
+
+from repro.bench import bench_matrices, cut_ratio_rows, format_table
+from repro.matrices.suite import FIGURE_MATRICES
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
+NPARTS = (16, 32, 64)
+
+
+def test_fig1_vs_msb(benchmark):
+    matrices = bench_matrices(DEFAULT_SUBSET, FIGURE_MATRICES)
+    rows = benchmark.pedantic(
+        lambda: cut_ratio_rows(matrices, "msb", nparts_list=NPARTS, scale=DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        format_table(
+            rows,
+            [f"ratio_{k}" for k in NPARTS],
+            title=(
+                f"Figure 1 analogue: ML/MSB edge-cut ratio, k={NPARTS}, "
+                f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)"
+            ),
+        )
+    )
+    # ML must win (ratio ≤ ~1) on the clear majority of (matrix, k) cells.
+    cells = [
+        rows_v
+        for row in rows
+        for rows_v in (row.values[f"ratio_{k}"] for k in NPARTS)
+    ]
+    wins = sum(1 for r in cells if r <= 1.02)
+    assert wins >= 0.6 * len(cells), cells

@@ -1,0 +1,40 @@
+"""Figure 2: our multilevel algorithm vs MSB followed by KL refinement.
+
+Expected shape: KL refinement improves MSB (Figure 2's ratios sit closer
+to 1.0 than Figure 1's), but our scheme still wins on most matrices while
+MSB-KL costs even more time than MSB (see Figure 4).
+"""
+
+from repro.bench import bench_matrices, cut_ratio_rows, format_table
+from repro.matrices.suite import FIGURE_MATRICES
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
+NPARTS = (16, 32, 64)
+
+
+def test_fig2_vs_msb_kl(benchmark):
+    matrices = bench_matrices(DEFAULT_SUBSET, FIGURE_MATRICES)
+    rows = benchmark.pedantic(
+        lambda: cut_ratio_rows(
+            matrices, "msb-kl", nparts_list=NPARTS, scale=DEFAULT_SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        format_table(
+            rows,
+            [f"ratio_{k}" for k in NPARTS],
+            title=(
+                f"Figure 2 analogue: ML/MSB-KL edge-cut ratio, k={NPARTS}, "
+                f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)"
+            ),
+        )
+    )
+    cells = [row.values[f"ratio_{k}"] for row in rows for k in NPARTS]
+    # MSB-KL is a strong baseline: require ML within 10 % on most cells
+    # rather than strict wins.
+    close_or_better = sum(1 for r in cells if r <= 1.10)
+    assert close_or_better >= 0.6 * len(cells), cells

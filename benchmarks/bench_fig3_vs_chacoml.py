@@ -1,0 +1,39 @@
+"""Figure 3: our multilevel algorithm vs the Chaco-ML combination.
+
+Chaco-ML = RM coarsening + spectral coarse partition + KLR every other
+level.  Expected shape: "our multilevel algorithm usually produces
+partitions with smaller edge-cut than that of Chaco-ML … for the cases
+where Chaco-ML does better, it is only marginally better."
+"""
+
+from repro.bench import bench_matrices, cut_ratio_rows, format_table
+from repro.matrices.suite import FIGURE_MATRICES
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
+NPARTS = (16, 32, 64)
+
+
+def test_fig3_vs_chaco_ml(benchmark):
+    matrices = bench_matrices(DEFAULT_SUBSET, FIGURE_MATRICES)
+    rows = benchmark.pedantic(
+        lambda: cut_ratio_rows(
+            matrices, "chaco-ml", nparts_list=NPARTS, scale=DEFAULT_SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        format_table(
+            rows,
+            [f"ratio_{k}" for k in NPARTS],
+            title=(
+                f"Figure 3 analogue: ML/Chaco-ML edge-cut ratio, k={NPARTS}, "
+                f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)"
+            ),
+        )
+    )
+    cells = [row.values[f"ratio_{k}"] for row in rows for k in NPARTS]
+    close_or_better = sum(1 for r in cells if r <= 1.05)
+    assert close_or_better >= 0.6 * len(cells), cells

@@ -1,0 +1,60 @@
+"""Figure 5: fill-reducing ordering quality — MLND vs MMD vs SND.
+
+Per matrix (displayed in increasing order, as in the paper), the ratio of
+MMD's and SND's factorization opcounts to MLND's; bars above 1.0 mean
+MLND produces the better ordering.
+
+Expected shape (§4.3): MLND beats MMD on the large 3-D FE/stiffness
+problems (up to 2–3×) while MMD can win on small/2-D/irregular ones
+(BCSPWR10 is everyone's worst case); MLND beats SND nearly everywhere;
+MLND's orderings expose more elimination-tree parallelism than MMD's.
+"""
+
+from repro.bench import bench_matrices, format_table, ordering_rows
+from repro.matrices.suite import ORDERING_MATRICES
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["LSHP3466", "BCSPWR10", "4ELT", "BCSSTK29", "BRACK2", "ROTOR"]
+
+
+def test_fig5_ordering_quality(benchmark):
+    matrices = bench_matrices(DEFAULT_SUBSET, ORDERING_MATRICES)
+    rows = benchmark.pedantic(
+        lambda: ordering_rows(matrices, scale=DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        format_table(
+            rows,
+            [
+                "mmd_over_mlnd",
+                "snd_over_mlnd",
+                "mlnd_parallelism",
+                "mmd_parallelism",
+                "mlnd_seconds",
+                "mmd_seconds",
+            ],
+            title=(
+                f"Figure 5 analogue: opcount ratios vs MLND, scale={DEFAULT_SCALE} "
+                f"(bars > 1.0 = MLND better)"
+            ),
+        )
+    )
+    # MLND must beat MMD on the 3-D matrices of the subset...
+    threed = [r for r in rows if r.matrix in ("BRACK2", "ROTOR", "BCSSTK29",
+                                              "WAVE", "CANT", "TROLL", "SHELL93")]
+    if threed:
+        avg_3d = sum(r.values["mmd_over_mlnd"] for r in threed) / len(threed)
+        assert avg_3d > 1.0, [(r.matrix, r.values["mmd_over_mlnd"]) for r in threed]
+    # ...and expose more elimination-tree parallelism than MMD overall.
+    more_parallel = sum(
+        1 for r in rows
+        if r.values["mlnd_parallelism"] >= r.values["mmd_parallelism"]
+    )
+    assert more_parallel >= 0.6 * len(rows)
+    # SND never collapses MLND's advantage by more than ~30 % on average
+    # (paper: SND needs 30 % more operations than MLND in total).
+    avg_snd = sum(r.values["snd_over_mlnd"] for r in rows) / len(rows)
+    assert avg_snd > 0.9

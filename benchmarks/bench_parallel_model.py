@@ -1,0 +1,66 @@
+"""§5 claim: the parallel multilevel formulation scales to large p.
+
+"Our parallel implementation [23] of this multilevel partitioning is able
+to get a speedup of as much as 56 on a 128-processor Cray T3D for moderate
+size problems."  This bench measures real per-level statistics (including
+simulated handshake-matching rounds) and prices the parallel formulation
+on a T3D-class α–β model, asserting the claim's shape: same-order speedup
+at p = 128 for paper-size problems, and a severe wall-clock penalty if
+refinement were not boundary-based.
+"""
+
+from repro.bench import Row, bench_matrices, format_table
+from repro.matrices import suite
+from repro.parallel import collect_level_stats, estimate_parallel_speedup
+from repro.parallel.model import scale_levels
+from repro.parallel.stats import LevelStats
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["BRACK2", "ROTOR"]
+PROCS = (8, 32, 128)
+
+
+def test_parallel_speedup_model(benchmark):
+    matrices = bench_matrices(DEFAULT_SUBSET, ["BRACK2", "ROTOR", "WAVE", "4ELT"])
+
+    def run():
+        rows = []
+        for name in matrices:
+            graph = suite.load(name, scale=DEFAULT_SCALE, seed=0)
+            levels, _ = collect_level_stats(graph)
+            factor = suite.SUITE[name].paper_order / graph.nvtxs
+            paper_levels = scale_levels(levels, factor)
+            non_boundary = [
+                LevelStats(lv.nvtxs, lv.nedges, boundary=lv.nvtxs,
+                           rounds=lv.rounds)
+                for lv in paper_levels
+            ]
+            values = {}
+            for p in PROCS:
+                est = estimate_parallel_speedup(paper_levels, p)
+                values[f"speedup_{p}"] = est.speedup
+                t_nb = estimate_parallel_speedup(non_boundary, p).parallel_time
+                values[f"kl_penalty_{p}"] = t_nb / est.parallel_time
+            rows.append(Row(name, "parallel-model", values))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(
+        format_table(
+            rows,
+            [f"speedup_{p}" for p in PROCS] + [f"kl_penalty_{p}" for p in PROCS],
+            title=(
+                "§5 analogue: modelled parallel speedup at paper-size graphs "
+                "(T3D-class machine; kl_penalty = wall-clock multiplier of "
+                "non-boundary refinement)"
+            ),
+        )
+    )
+    for r in rows:
+        # Same order as the paper's 56× at p=128; and boundary refinement
+        # must be the cheaper formulation at every p.
+        assert 10 <= r.values["speedup_128"] <= 128, r
+        assert r.values["speedup_128"] > r.values["speedup_8"]
+        for p in PROCS:
+            assert r.values[f"kl_penalty_{p}"] > 1.0

@@ -1,0 +1,50 @@
+"""Table 1: the workload suite inventory.
+
+Regenerates the paper's matrix table for our synthetic analogues: name,
+order, edge count (≈ nonzeros/2) and description, and benchmarks suite
+generation itself (the substrate cost every other experiment pays).
+"""
+
+from repro.bench import Row, bench_matrices, format_table
+from repro.matrices import suite
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["LSHP3466", "4ELT", "BCSPWR10", "BCSSTK31", "MEMPLUS", "FINAN512"]
+
+
+def test_table1_inventory(benchmark):
+    names = bench_matrices(DEFAULT_SUBSET, suite.suite_names())
+
+    def generate_all():
+        return [
+            suite.load(name, scale=DEFAULT_SCALE, seed=0, cache=False)
+            for name in names
+        ]
+
+    graphs = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, graph in zip(names, graphs):
+        entry = suite.SUITE[name]
+        rows.append(
+            Row(
+                matrix=name,
+                scheme=entry.short,
+                values={
+                    "order": graph.nvtxs,
+                    "edges": graph.nedges,
+                    "avg_deg": graph.average_degree(),
+                    "paper_order": entry.paper_order,
+                    "description": entry.description,
+                },
+            )
+        )
+        assert graph.nvtxs > 0
+    record_report(
+        format_table(
+            rows,
+            ["order", "edges", "avg_deg", "paper_order", "description"],
+            title=f"Table 1 analogue (scale={DEFAULT_SCALE})",
+        )
+    )

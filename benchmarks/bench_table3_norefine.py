@@ -1,0 +1,38 @@
+"""Table 3: matching schemes with refinement disabled.
+
+The paper's point: the quality of the *coarsening* shows up when no
+refinement is allowed to hide it.  HEM/HCM project far better partitions
+than RM and especially LEM — "the edge-cut of LEM on the coarser graphs is
+significantly higher than that for either HEM or HCM" — even though after
+refinement (Table 2) the final cuts converge.
+"""
+
+from repro.bench import bench_matrices, format_table, pivot, table3_rows
+from repro.matrices.suite import TABLE_MATRICES
+
+from conftest import DEFAULT_SCALE, record_report
+
+DEFAULT_SUBSET = ["BCSSTK31", "BRACK2", "4ELT", "ROTOR"]
+
+
+def test_table3_no_refinement(benchmark):
+    matrices = bench_matrices(DEFAULT_SUBSET, TABLE_MATRICES)
+    rows = benchmark.pedantic(
+        lambda: table3_rows(matrices, nparts=32, scale=DEFAULT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        format_table(
+            rows,
+            ["32EC"],
+            title=f"Table 3 analogue: no refinement, 32-way, scale={DEFAULT_SCALE}",
+        )
+    )
+
+    cuts = pivot(rows, "32EC")
+    # LEM must be the worst (or tied worst) coarsener on most matrices,
+    # and HEM must beat LEM on average by a clear margin.
+    hem_total = sum(cuts[m]["HEM"] for m in cuts)
+    lem_total = sum(cuts[m]["LEM"] for m in cuts)
+    assert lem_total > 1.2 * hem_total, (hem_total, lem_total)

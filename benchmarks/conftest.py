@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures.  A plain
+``pytest benchmarks/ --benchmark-only`` runs a representative subset at a
+reduced scale so the whole suite finishes in minutes on one core; the full
+paper sets are selected with environment variables::
+
+    REPRO_BENCH_MATRICES=all REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+
+Every experiment prints its paper-table/figure analogue to stdout (run
+pytest with ``-s`` to see them live; they are also echoed into the
+terminalreporter at the end).
+"""
+
+import os
+
+import pytest
+
+#: Reduced default scale so a full benchmark pass stays laptop-friendly;
+#: override with REPRO_BENCH_SCALE.
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+_REPORTS: list[str] = []
+
+
+def record_report(text: str) -> None:
+    """Queue a formatted table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper table/figure reproductions")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

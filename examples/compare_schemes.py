@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Phase-by-phase study: what each multilevel design choice buys.
+
+Walks one graph through the paper's §4.1 experiments at small scale:
+
+1. matching schemes (Table 2/3): final cut, cut *before* refinement, and
+   coarsening time for RM / HEM / LEM / HCM;
+2. refinement policies (Table 4): cut and refinement time for
+   GR / KLR / BGR / BKLR / BKLGR;
+3. baselines (Figures 1–4): the multilevel default vs MSB, MSB-KL and
+   Chaco-ML on cut and wall time.
+
+Run:  python examples/compare_schemes.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import partition
+from repro.core.options import DEFAULT_OPTIONS, MatchingScheme, RefinePolicy
+from repro.matrices import fe_tet3d
+from repro.spectral import chaco_ml_partition, msb_partition
+
+K = 16
+SEED = 11
+
+
+def run(graph, options):
+    t0 = time.perf_counter()
+    result = partition(graph, K, options, np.random.default_rng(SEED))
+    return result, time.perf_counter() - t0
+
+
+def main() -> None:
+    graph = fe_tet3d(4000, seed=2)
+    print(f"3-D FE mesh: {graph.nvtxs} vertices, {graph.nedges} edges; k={K}\n")
+
+    print("1) matching schemes (GGGP + BKLGR fixed)")
+    print(f"{'scheme':>6} {'cut':>8} {'no-refine cut':>14} {'CTime':>7}")
+    for scheme in MatchingScheme:
+        refined, _ = run(graph, DEFAULT_OPTIONS.with_(matching=scheme))
+        raw, _ = run(
+            graph,
+            DEFAULT_OPTIONS.with_(matching=scheme, refinement=RefinePolicy.NONE),
+        )
+        print(f"{scheme.name:>6} {refined.cut:>8} {raw.cut:>14} "
+              f"{refined.timers.get('CTime', 0):>7.2f}")
+    print("   (LEM's no-refine cut should dwarf HEM's — Table 3's point)\n")
+
+    print("2) refinement policies (HEM + GGGP fixed)")
+    print(f"{'policy':>6} {'cut':>8} {'RTime':>7}")
+    for policy in (RefinePolicy.GR, RefinePolicy.KLR, RefinePolicy.BGR,
+                   RefinePolicy.BKLR, RefinePolicy.BKLGR):
+        result, _ = run(graph, DEFAULT_OPTIONS.with_(refinement=policy))
+        print(f"{policy.name:>6} {result.cut:>8} "
+              f"{result.timers.get('RTime', 0):>7.2f}")
+    print("   (boundary policies should be several times cheaper at ~equal cut)\n")
+
+    print("3) baselines")
+    ours, t_ours = run(graph, DEFAULT_OPTIONS)
+    t0 = time.perf_counter()
+    msb = msb_partition(graph, K, DEFAULT_OPTIONS, np.random.default_rng(SEED))
+    t_msb = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    msbkl = msb_partition(graph, K, DEFAULT_OPTIONS, np.random.default_rng(SEED),
+                          kl_refine=True)
+    t_msbkl = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    chaco = chaco_ml_partition(graph, K, DEFAULT_OPTIONS, np.random.default_rng(SEED))
+    t_chaco = time.perf_counter() - t0
+    print(f"{'method':>10} {'cut':>8} {'seconds':>8} {'time vs ours':>13}")
+    for name, res, secs in (("multilevel", ours, t_ours), ("msb", msb, t_msb),
+                            ("msb-kl", msbkl, t_msbkl), ("chaco-ml", chaco, t_chaco)):
+        print(f"{name:>10} {res.cut:>8} {secs:>8.2f} {secs / t_ours:>12.1f}x")
+
+
+if __name__ == "__main__":
+    main()

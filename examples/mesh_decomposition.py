@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Domain decomposition for a parallel sparse matrix-vector product.
+
+The paper's motivating application (§1): solving ``Ax = b`` iteratively on
+a parallel machine requires partitioning the graph of A so each processor
+owns equal work (vertices) while the halo exchange (cut edges) is minimal.
+
+This example decomposes an unstructured airfoil mesh for 4–64 processors
+and reports, per processor count:
+
+* the edge-cut (total communication volume proxy),
+* the maximum per-processor halo (the actual per-step communication bound),
+* the load balance,
+
+and compares the multilevel partitioner against recursive inertial
+(geometric) bisection — reproducing the paper's point that geometric
+methods are fast but cut more edges.
+
+Run:  python examples/mesh_decomposition.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.geometric import geometric_partition
+from repro.matrices import airfoil
+
+
+def halo_sizes(graph, where, nparts):
+    """Per-part halo: number of remote vertices each part must receive."""
+    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    dst = graph.adjncy
+    cross = where[src] != where[dst]
+    halos = np.zeros(nparts, dtype=np.int64)
+    for p in range(nparts):
+        # Remote endpoints of edges incident to part p.
+        remote = np.unique(dst[cross & (where[src] == p)])
+        halos[p] = len(remote)
+    return halos
+
+
+def main() -> None:
+    graph = airfoil(6000, seed=3)
+    print(f"airfoil mesh: {graph.nvtxs} vertices, {graph.nedges} edges")
+    print(f"{'p':>4} {'method':>10} {'edge-cut':>9} {'max halo':>9} "
+          f"{'balance':>8} {'seconds':>8}")
+
+    for nparts in (4, 8, 16, 32, 64):
+        t0 = time.perf_counter()
+        ml = repro.partition(graph, nparts, seed=7)
+        t_ml = time.perf_counter() - t0
+        halos = halo_sizes(graph, ml.where, nparts)
+        print(f"{nparts:>4} {'multilevel':>10} {ml.cut:>9} {halos.max():>9} "
+              f"{ml.balance(graph):>8.3f} {t_ml:>8.2f}")
+
+        t0 = time.perf_counter()
+        geo = geometric_partition(graph, nparts)
+        t_geo = time.perf_counter() - t0
+        halos = halo_sizes(graph, geo.where, nparts)
+        print(f"{nparts:>4} {'inertial':>10} {geo.cut:>9} {halos.max():>9} "
+              f"{geo.balance(graph):>8.3f} {t_geo:>8.2f}")
+
+    print("\nmultilevel should cut noticeably fewer edges at every p;")
+    print("inertial is faster per partition but pays in communication volume.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Fill-reducing ordering for sparse Cholesky factorization.
+
+Reproduces §4.3's experiment in miniature: order the graph of a 3-D
+stiffness matrix with multilevel nested dissection (MLND), multiple
+minimum degree (MMD), spectral nested dissection (SND) and the natural
+ordering, then compare what each costs to factor:
+
+* operation count (serial factorization work),
+* fill-in,
+* elimination-tree height and available parallelism — the paper's
+  argument that MLND's advantage *grows* on a parallel machine because
+  nested-dissection trees are short and balanced while minimum-degree
+  trees are "long and slender".
+
+Run:  python examples/sparse_ordering.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.options import DEFAULT_OPTIONS
+from repro.matrices import stiffness3d
+from repro.ordering import (
+    Ordering,
+    factor_stats,
+    mlnd_ordering,
+    mmd_ordering,
+    snd_ordering,
+)
+
+
+def main() -> None:
+    graph = stiffness3d(700, dofs=3, seed=5)
+    print(f"3-D stiffness graph: {graph.nvtxs} vertices, {graph.nedges} edges "
+          f"(avg degree {graph.average_degree():.1f})")
+
+    orderings = {}
+    t0 = time.perf_counter()
+    orderings["natural"] = (Ordering.identity(graph.nvtxs), 0.0)
+    t0 = time.perf_counter()
+    o = mmd_ordering(graph)
+    orderings["mmd"] = (o, time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    o = mlnd_ordering(graph, DEFAULT_OPTIONS, np.random.default_rng(5))
+    orderings["mlnd"] = (o, time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    o = snd_ordering(graph, DEFAULT_OPTIONS, np.random.default_rng(5))
+    orderings["snd"] = (o, time.perf_counter() - t0)
+
+    print(f"\n{'method':>8} {'opcount':>14} {'fill':>10} {'tree h':>7} "
+          f"{'parallelism':>12} {'order time':>11}")
+    baseline = None
+    for name, (ordering, seconds) in orderings.items():
+        stats = factor_stats(graph, ordering.perm)
+        if name == "mlnd":
+            baseline = stats.opcount
+        print(f"{name:>8} {stats.opcount:>14,} {stats.fill:>10,} "
+              f"{stats.tree_height:>7} {stats.available_parallelism:>12.1f} "
+              f"{seconds:>10.2f}s")
+
+    mmd_ops = factor_stats(graph, orderings["mmd"][0].perm).opcount
+    print(f"\nMMD/MLND opcount ratio: {mmd_ops / baseline:.2f} "
+          f"(the paper reports 2–3x for large 3-D stiffness problems)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Modern metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal environments that lack the ``wheel``
+package (pip falls back to ``setup.py develop`` when a ``setup.py`` is
+present and PEP 660 wheel building is unavailable).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro`` / ``repro-partition``.
+
+Subcommands mirror what the METIS binaries of the era offered:
+
+* ``partition GRAPH K`` — k-way partition a Chaco/METIS ``.graph`` file,
+  print cut and balance, optionally write the partition vector;
+* ``order GRAPH`` — compute a fill-reducing ordering (mlnd/mmd/snd),
+  print the symbolic-factorization stats, optionally write the perm;
+* ``generate NAME OUT`` — write a suite workload to a ``.graph`` file;
+* ``info GRAPH`` — print basic statistics of a graph file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common_options(p):
+    p.add_argument("--seed", type=int, default=4242, help="RNG seed (default 4242)")
+    p.add_argument(
+        "--matching",
+        default="hem",
+        choices=["rm", "hem", "lem", "hcm"],
+        help="coarsening matching scheme (default hem)",
+    )
+    p.add_argument(
+        "--initial",
+        default="gggp",
+        choices=["sbp", "ggp", "gggp"],
+        help="coarsest-graph partitioner (default gggp)",
+    )
+    p.add_argument(
+        "--refinement",
+        default="bklgr",
+        choices=["none", "gr", "klr", "bgr", "bklr", "bklgr"],
+        help="refinement policy (default bklgr)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multilevel graph partitioning and sparse matrix ordering "
+            "(Karypis & Kumar, ICPP 1995 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="k-way partition a .graph file")
+    p.add_argument("graph", help="input file in Chaco/METIS .graph format")
+    p.add_argument("nparts", type=int, help="number of parts")
+    p.add_argument("-o", "--output", help="write the partition vector here")
+    p.add_argument(
+        "--report", action="store_true",
+        help="also print communication volume, halos and connectivity",
+    )
+    p.add_argument(
+        "--kway-refine", action="store_true",
+        help="apply direct k-way refinement after recursive bisection",
+    )
+    _add_common_options(p)
+
+    p = sub.add_parser("order", help="compute a fill-reducing ordering")
+    p.add_argument("graph", help="input file in Chaco/METIS .graph format")
+    p.add_argument(
+        "--method", default="mlnd", choices=["mlnd", "mmd", "snd"],
+        help="ordering algorithm (default mlnd)",
+    )
+    p.add_argument("-o", "--output", help="write the permutation here")
+    _add_common_options(p)
+
+    p = sub.add_parser("generate", help="generate a suite workload")
+    p.add_argument("name", help="suite matrix name, e.g. 4ELT (see 'repro info --suite')")
+    p.add_argument("output", help="output .graph path")
+    p.add_argument("--scale", type=float, default=1.0, help="order multiplier")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("info", help="print statistics of a graph file")
+    p.add_argument("graph", nargs="?", help="input .graph file")
+    p.add_argument("--suite", action="store_true", help="list suite workloads")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "order":
+        return _cmd_order(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _options_from(args):
+    from repro.core.options import DEFAULT_OPTIONS
+
+    return DEFAULT_OPTIONS.with_(
+        matching=args.matching,
+        initial=args.initial,
+        refinement=args.refinement,
+        seed=args.seed,
+    )
+
+
+def _cmd_partition(args) -> int:
+    from repro.core import partition
+    from repro.graph import read_graph
+
+    graph = read_graph(args.graph)
+    options = _options_from(args)
+    result = partition(graph, args.nparts, options, np.random.default_rng(args.seed))
+    if args.kway_refine:
+        from repro.core import refine_kway
+
+        refine_kway(graph, result, options, np.random.default_rng(args.seed))
+    print(f"graph:    {args.graph} ({graph.nvtxs} vertices, {graph.nedges} edges)")
+    print(f"nparts:   {args.nparts}")
+    print(f"edge-cut: {result.cut}")
+    print(f"balance:  {result.balance(graph):.4f}")
+    for phase in ("CTime", "ITime", "RTime", "PTime"):
+        if phase in result.timers:
+            print(f"{phase}:   {result.timers[phase]:.3f}s")
+    if args.report:
+        from repro.graph import partition_report
+
+        report = partition_report(graph, result.where, args.nparts)
+        print(f"commvol:  {report.communication_volume}")
+        print(f"max halo: {report.max_halo}")
+        print(f"max conn: {report.max_connectivity}")
+    if args.output:
+        np.savetxt(args.output, result.where, fmt="%d")
+        print(f"partition vector written to {args.output}")
+    return 0
+
+
+def _cmd_order(args) -> int:
+    from repro.graph import read_graph
+    from repro.ordering import factor_stats, mlnd_ordering, mmd_ordering, snd_ordering
+
+    graph = read_graph(args.graph)
+    options = _options_from(args)
+    rng = np.random.default_rng(args.seed)
+    if args.method == "mmd":
+        ordering = mmd_ordering(graph)
+    elif args.method == "snd":
+        ordering = snd_ordering(graph, options, rng)
+    else:
+        ordering = mlnd_ordering(graph, options, rng)
+    stats = factor_stats(graph, ordering.perm)
+    print(f"graph:        {args.graph} ({graph.nvtxs} vertices, {graph.nedges} edges)")
+    print(f"method:       {ordering.method}")
+    print(f"factor nnz:   {stats.nnz_factor}")
+    print(f"fill:         {stats.fill}")
+    print(f"opcount:      {stats.opcount}")
+    print(f"tree height:  {stats.tree_height}")
+    print(f"parallelism:  {stats.available_parallelism:.2f}")
+    if args.output:
+        np.savetxt(args.output, ordering.perm, fmt="%d")
+        print(f"permutation written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graph import write_graph
+    from repro.matrices import suite
+
+    graph = suite.load(args.name, scale=args.scale, seed=args.seed)
+    write_graph(graph, args.output)
+    print(
+        f"wrote {args.name} analogue: {graph.nvtxs} vertices, "
+        f"{graph.nedges} edges -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    if args.suite:
+        from repro.matrices import suite
+
+        print(f"{'name':12s} {'short':6s} {'paper |V|':>9s} {'default |V|':>11s}  description")
+        for name in suite.suite_names():
+            e = suite.SUITE[name]
+            print(
+                f"{e.name:12s} {e.short:6s} {e.paper_order:9d} "
+                f"{e.default_order:11d}  {e.description}"
+            )
+        return 0
+    if not args.graph:
+        print("error: provide a graph file or --suite", file=sys.stderr)
+        return 2
+    from repro.graph import read_graph
+    from repro.graph.components import num_components
+
+    graph = read_graph(args.graph)
+    degrees = graph.degrees()
+    print(f"vertices:   {graph.nvtxs}")
+    print(f"edges:      {graph.nedges}")
+    print(f"components: {num_components(graph)}")
+    print(f"degree:     min {degrees.min()} / avg {graph.average_degree():.2f} / max {degrees.max()}")
+    print(f"vwgt total: {graph.total_vwgt()}")
+    print(f"ewgt total: {graph.total_adjwgt()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: multilevel graph bisection and k-way
+partitioning by recursive bisection.
+
+Public surface:
+
+* :func:`bisect` — multilevel 2-way partition with configurable phases;
+* :func:`partition` — k-way partition by recursive bisection;
+* :class:`MultilevelOptions` and the phase enums
+  (:class:`MatchingScheme`, :class:`InitialScheme`, :class:`RefinePolicy`);
+* phase building blocks for study/ablation: :func:`coarsen`,
+  :func:`compute_matching`, :func:`initial_bisection`,
+  :func:`refine_bisection`.
+"""
+
+from repro.core.coarsen import CoarseningHierarchy, coarsen
+from repro.core.initial import (
+    ggp_bisection,
+    gggp_bisection,
+    initial_bisection,
+    sbp_bisection,
+    split_at_weighted_median,
+)
+from repro.core.kway import partition
+from repro.core.kway_refine import partition_refined, refine_kway
+from repro.core.matching import (
+    compute_matching,
+    hcm_matching,
+    hem_matching,
+    is_maximal_matching,
+    is_valid_matching,
+    lem_matching,
+    rm_matching,
+)
+from repro.core.multilevel import MultilevelResult, bisect
+from repro.core.options import (
+    DEFAULT_OPTIONS,
+    InitialScheme,
+    MatchingScheme,
+    MultilevelOptions,
+    RefinePolicy,
+)
+from repro.core.refine import fm_pass, refine_bisection
+
+__all__ = [
+    "bisect",
+    "partition",
+    "MultilevelResult",
+    "MultilevelOptions",
+    "DEFAULT_OPTIONS",
+    "MatchingScheme",
+    "InitialScheme",
+    "RefinePolicy",
+    "coarsen",
+    "CoarseningHierarchy",
+    "compute_matching",
+    "rm_matching",
+    "hem_matching",
+    "lem_matching",
+    "hcm_matching",
+    "is_valid_matching",
+    "is_maximal_matching",
+    "initial_bisection",
+    "ggp_bisection",
+    "gggp_bisection",
+    "sbp_bisection",
+    "split_at_weighted_median",
+    "refine_bisection",
+    "fm_pass",
+    "refine_kway",
+    "partition_refined",
+]

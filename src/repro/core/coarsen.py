@@ -1,0 +1,104 @@
+"""The coarsening phase (§3.1): repeated match-and-contract.
+
+Produces the sequence ``G_0, G_1, …, G_m`` with ``|V_0| > |V_1| > … >
+|V_m|`` together with the coarse maps that project partitions back up.
+Coarsening stops when the graph is small enough (``coarsen_to``), when a
+level fails to shrink the graph meaningfully (``coarsen_stall_ratio`` — a
+maximal matching on a star matches one edge, so stall detection is what
+terminates on such graphs), or at the level cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.matching import compute_matching
+from repro.core.options import DEFAULT_OPTIONS, MatchingScheme
+from repro.graph.contract import (
+    coarse_map_from_matching,
+    collapsed_edge_weight,
+    contract,
+)
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class CoarseningHierarchy:
+    """The result of the coarsening phase.
+
+    Attributes
+    ----------
+    graphs:
+        ``graphs[0]`` is the input graph, ``graphs[-1]`` the coarsest.
+    cmaps:
+        ``cmaps[i][v]`` is the vertex of ``graphs[i+1]`` that vertex ``v``
+        of ``graphs[i]`` collapsed into; ``len(cmaps) == len(graphs) - 1``.
+    """
+
+    graphs: list = field(default_factory=list)
+    cmaps: list = field(default_factory=list)
+
+    @property
+    def nlevels(self) -> int:
+        """Number of graphs in the hierarchy (≥ 1)."""
+        return len(self.graphs)
+
+    @property
+    def coarsest(self):
+        """The coarsest graph ``G_m``."""
+        return self.graphs[-1]
+
+    def project_to_finest(self, coarse_values: np.ndarray) -> np.ndarray:
+        """Map per-vertex values on the coarsest graph to the finest.
+
+        Utility used by tests and by MSB-style algorithms: composes the
+        coarse maps so ``result[v] = coarse_values[cmap_{m-1}[… cmap_0[v]]]``.
+        """
+        values = np.asarray(coarse_values)
+        for cmap in reversed(self.cmaps):
+            values = values[cmap]
+        return values
+
+
+def coarsen(graph, options=DEFAULT_OPTIONS, rng=None) -> CoarseningHierarchy:
+    """Run the coarsening phase on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to coarsen (``G_0``).
+    options:
+        :class:`~repro.core.options.MultilevelOptions`; the fields used here
+        are ``matching``, ``coarsen_to``, ``coarsen_stall_ratio`` and
+        ``max_coarsen_levels``.
+    rng:
+        Seed or generator for the randomized matchings.
+
+    Returns
+    -------
+    CoarseningHierarchy
+    """
+    rng = as_generator(rng if rng is not None else options.seed)
+    hierarchy = CoarseningHierarchy(graphs=[graph], cmaps=[])
+    current = graph
+    cewgt = None
+    if options.matching is MatchingScheme.HCM:
+        cewgt = np.zeros(graph.nvtxs, dtype=np.int64)
+
+    while (
+        current.nvtxs > options.coarsen_to
+        and hierarchy.nlevels <= options.max_coarsen_levels
+    ):
+        match = compute_matching(current, options.matching, rng, cewgt)
+        cmap, ncoarse = coarse_map_from_matching(match)
+        if ncoarse >= current.nvtxs * options.coarsen_stall_ratio:
+            break  # matching stalled; further levels would spin
+        if options.matching is MatchingScheme.HCM:
+            cewgt = collapsed_edge_weight(current, cmap, ncoarse, cewgt)
+        coarse = contract(current, cmap, ncoarse)
+        hierarchy.graphs.append(coarse)
+        hierarchy.cmaps.append(cmap)
+        current = coarse
+    return hierarchy

@@ -1,0 +1,175 @@
+"""Initial bisection of the coarsest graph (§3.2).
+
+Three algorithms, matching the paper's implementation:
+
+* **GGP** — graph growing: pick a random vertex, grow a region around it in
+  breadth-first order until the region holds half the vertex weight.  Ten
+  random seeds are tried and the best cut wins.
+* **GGGP** — greedy graph growing: grow from a random vertex, but at each
+  step absorb the frontier vertex whose move *least increases* (most
+  decreases) the cut — i.e. the highest-gain vertex in FM terms.  Five
+  seeds are tried.  The paper found GGGP consistently best, and it is the
+  default.
+* **SBP** — spectral bisection: split at the weighted median of the Fiedler
+  vector.  The coarsest graph has ≲ 100 vertices, so a dense symmetric
+  eigensolve is exact and cheap.
+
+All three take an explicit target weight for part 0 so recursive bisection
+can request unequal splits (⌈k/2⌉ : ⌊k/2⌋ for odd k).  Disconnected coarse
+graphs are handled by re-seeding growth in an untouched component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.options import DEFAULT_OPTIONS, InitialScheme
+from repro.graph.partition import Bisection
+from repro.utils.errors import PartitionError
+from repro.utils.rng import as_generator
+
+
+def _grown_bisection(graph, where) -> Bisection:
+    return Bisection.from_where(graph, where)
+
+
+def ggp_bisection(graph, target0=None, rng=None, trials=10) -> Bisection:
+    """Graph-growing bisection (GGP): BFS region growth, best of ``trials``."""
+    rng = as_generator(rng)
+    n = graph.nvtxs
+    if n < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    total = graph.total_vwgt()
+    if target0 is None:
+        target0 = total // 2
+    xadj, adjncy, vwgt = graph.xadj, graph.adjncy, graph.vwgt
+
+    best = None
+    for _ in range(trials):
+        where = np.ones(n, dtype=np.int8)
+        visited = np.zeros(n, dtype=bool)
+        pwgt0 = 0
+        queue: list[int] = []
+        head = 0
+        while pwgt0 < target0 and pwgt0 < total:
+            if head >= len(queue):  # (re)seed in an untouched component
+                candidates = np.flatnonzero(~visited)
+                seed = int(candidates[rng.integers(len(candidates))])
+                visited[seed] = True
+                queue.append(seed)
+            v = queue[head]
+            head += 1
+            if pwgt0 + int(vwgt[v]) >= total:
+                break  # absorbing v would empty part 1
+            where[v] = 0
+            pwgt0 += int(vwgt[v])
+            for u in adjncy[xadj[v] : xadj[v + 1]]:
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(int(u))
+        cand = _grown_bisection(graph, where)
+        if best is None or cand.cut < best.cut:
+            best = cand
+    return best
+
+
+def gggp_bisection(graph, target0=None, rng=None, trials=5) -> Bisection:
+    """Greedy graph-growing bisection (GGGP): gain-ordered growth."""
+    rng = as_generator(rng)
+    n = graph.nvtxs
+    if n < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    total = graph.total_vwgt()
+    if target0 is None:
+        target0 = total // 2
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+
+    # gain[v] = (edge weight from v into the region) − (edge weight to the
+    # rest): moving the max-gain frontier vertex grows the region with the
+    # least increase in cut.  The coarsest graph is tiny (≲ a few hundred
+    # vertices), so a dense argmax over the frontier beats heap upkeep.
+    wdeg = np.bincount(
+        np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj)),
+        weights=adjwgt,
+        minlength=n,
+    ).astype(np.int64)
+    neg_inf = np.iinfo(np.int64).min
+
+    best = None
+    for _ in range(trials):
+        where = np.ones(n, dtype=np.int8)
+        in_region = np.zeros(n, dtype=bool)
+        frontier = np.zeros(n, dtype=bool)
+        gain = -wdeg.copy()
+        pwgt0 = 0
+        while pwgt0 < target0 and pwgt0 < total:
+            if frontier.any():
+                masked = np.where(frontier, gain, neg_inf)
+                v = int(np.argmax(masked))
+            else:  # frontier empty: seed a fresh component
+                candidates = np.flatnonzero(~in_region)
+                v = int(candidates[rng.integers(len(candidates))])
+            if pwgt0 + int(vwgt[v]) >= total:
+                break  # absorbing v would empty part 1
+            in_region[v] = True
+            frontier[v] = False
+            where[v] = 0
+            pwgt0 += int(vwgt[v])
+            nbrs = adjncy[xadj[v] : xadj[v + 1]]
+            w = adjwgt[xadj[v] : xadj[v + 1]]
+            outside = ~in_region[nbrs]
+            touched = nbrs[outside]
+            # Each edge into the region flips external→internal: +2w.
+            np.add.at(gain, touched, 2 * w[outside])
+            frontier[touched] = True
+        cand = _grown_bisection(graph, where)
+        if best is None or cand.cut < best.cut:
+            best = cand
+    return best
+
+
+def sbp_bisection(graph, target0=None, rng=None) -> Bisection:
+    """Spectral bisection (SBP) of a small graph via the dense Fiedler vector.
+
+    Intended for coarsest graphs (the dense eigensolve is O(n³)); for large
+    graphs use :mod:`repro.spectral` which provides a Lanczos path.
+    """
+    from repro.spectral.fiedler import fiedler_vector
+
+    n = graph.nvtxs
+    if n < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    total = graph.total_vwgt()
+    if target0 is None:
+        target0 = total // 2
+    fiedler = fiedler_vector(graph, rng=rng)
+    return split_at_weighted_median(graph, fiedler, target0)
+
+
+def split_at_weighted_median(graph, values, target0) -> Bisection:
+    """Bisect by thresholding ``values``: the lowest-valued vertices whose
+    weight first reaches ``target0`` form part 0.
+
+    Shared by spectral and geometric bisection.  Ties in value are broken
+    by vertex id (via stable argsort), which keeps results deterministic.
+    """
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(graph.vwgt[order])
+    # First prefix whose weight reaches the target (always ≥ 1 vertex,
+    # always leaves ≥ 1 vertex when target0 < total).
+    k = int(np.searchsorted(cum, target0, side="left")) + 1
+    k = min(max(k, 1), graph.nvtxs - 1)
+    where = np.ones(graph.nvtxs, dtype=np.int8)
+    where[order[:k]] = 0
+    return Bisection.from_where(graph, where)
+
+
+def initial_bisection(graph, options=DEFAULT_OPTIONS, rng=None, target0=None):
+    """Dispatch to the configured initial-partitioning scheme."""
+    rng = as_generator(rng if rng is not None else options.seed)
+    scheme = InitialScheme(options.initial)
+    if scheme is InitialScheme.GGP:
+        return ggp_bisection(graph, target0, rng, options.ggp_trials)
+    if scheme is InitialScheme.GGGP:
+        return gggp_bisection(graph, target0, rng, options.gggp_trials)
+    return sbp_bisection(graph, target0, rng)

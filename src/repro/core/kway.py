@@ -1,0 +1,126 @@
+"""k-way partitioning by recursive bisection (§2).
+
+"The k-way partition problem is most frequently solved by recursive
+bisection … After log k phases, graph G is partitioned into k parts."  For
+non-power-of-two ``k`` the split targets ⌈k/2⌉ : ⌊k/2⌋ of the vertex
+weight, so every leaf ends up with ≈ 1/k of the total — the same device
+METIS uses.
+
+The recursion extracts induced subgraphs (boundary edges between already
+separated parts can never be un-cut, so dropping them is exact) and gives
+each subproblem an independent RNG stream, making the result invariant to
+evaluation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multilevel import bisect
+from repro.core.options import DEFAULT_OPTIONS
+from repro.graph.components import extract_subgraph
+from repro.graph.partition import KWayPartition, edge_cut, part_weights
+from repro.utils.errors import PartitionError
+from repro.utils.rng import as_generator, spawn_child
+from repro.utils.timing import PhaseTimer
+
+
+def partition(
+    graph,
+    nparts: int,
+    options=DEFAULT_OPTIONS,
+    rng=None,
+    *,
+    bisector=None,
+) -> KWayPartition:
+    """Partition ``graph`` into ``nparts`` parts of roughly equal weight.
+
+    Parameters
+    ----------
+    graph:
+        The graph to partition.
+    nparts:
+        Number of parts ``k ≥ 1``.
+    options:
+        Multilevel configuration used for every bisection.
+    bisector:
+        Optional override: a callable ``(graph, options, rng, target0) →
+        MultilevelResult``-like object with a ``bisection`` attribute and a
+        ``timers`` :class:`PhaseTimer`.  The spectral baselines plug in
+        here so Figures 1–4 compare k-way against k-way.
+
+    Returns
+    -------
+    repro.graph.partition.KWayPartition
+        With ``timers`` carrying the accumulated CTime/ITime/RTime/PTime.
+    """
+    if nparts < 1:
+        raise PartitionError(f"nparts must be >= 1, got {nparts}")
+    if nparts > graph.nvtxs:
+        raise PartitionError(
+            f"cannot cut {graph.nvtxs} vertices into {nparts} parts"
+        )
+    rng = as_generator(rng if rng is not None else options.seed)
+    # Imbalance compounds multiplicatively down the ⌈log₂ k⌉ bisection
+    # levels, so give each level the root of the overall tolerance.
+    depth = max(1, int(np.ceil(np.log2(nparts)))) if nparts > 1 else 1
+    options = options.with_(ubfactor=float(options.ubfactor) ** (1.0 / depth))
+    where = np.zeros(graph.nvtxs, dtype=np.int32)
+    timers = PhaseTimer()
+    _recurse(graph, nparts, 0, where, np.arange(graph.nvtxs, dtype=np.int64),
+             options, rng, timers, bisector)
+    result = KWayPartition(
+        where=where,
+        nparts=nparts,
+        cut=edge_cut(graph, where),
+        pwgts=part_weights(graph, where, nparts),
+    )
+    result.timers = timers.totals()
+    return result
+
+
+def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector):
+    """Assign parts ``first_part .. first_part+k-1`` to ``graph``'s vertices.
+
+    ``vmap`` maps this subgraph's vertices to the original graph; ``where``
+    is the original-graph partition vector being filled in.
+    """
+    if k == 1:
+        where[vmap] = first_part
+        return
+    if k == graph.nvtxs:
+        # One vertex per part; no bisection needed (k = n base case).
+        where[vmap] = first_part + np.arange(k, dtype=np.int32)
+        return
+    k_left = (k + 1) // 2
+    target0 = (graph.total_vwgt() * k_left) // k
+
+    child_rng = spawn_child(rng)
+    if bisector is None:
+        result = bisect(graph, options, child_rng, target0=target0)
+    else:
+        result = bisector(graph, options, child_rng, target0)
+    timers.merge(result.timers)
+    side = np.asarray(result.bisection.where).copy()
+
+    # Each side must hold at least as many vertices as parts it will be
+    # split into; top up a too-small side from the other (k close to n).
+    k_right = k - k_left
+    for needy, donor_label, needed in ((0, 1, k_left), (1, 0, k_right)):
+        ids = np.flatnonzero(side == needy)
+        if len(ids) < needed:
+            donors = np.flatnonzero(side == donor_label)
+            take = needed - len(ids)
+            side[donors[:take]] = needy
+
+    left = np.flatnonzero(side == 0).astype(np.int64)
+    right = np.flatnonzero(side == 1).astype(np.int64)
+    if len(left) == 0 or len(right) == 0:
+        raise PartitionError("bisection produced an empty side")
+
+    sub_left, _ = extract_subgraph(graph, left)
+    sub_right, _ = extract_subgraph(graph, right)
+    _recurse(sub_left, k_left, first_part, where, vmap[left],
+             options, rng, timers, bisector)
+    _recurse(sub_right, k - k_left, first_part + k_left, where, vmap[right],
+             options, rng, timers, bisector)

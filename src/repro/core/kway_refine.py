@@ -1,0 +1,139 @@
+"""Direct k-way refinement — the paper's stated future direction.
+
+Recursive bisection refines each bisection in isolation: once parts are
+split, a vertex can never move between cousins.  The paper's conclusion
+(and the authors' 1998 follow-up, which became METIS's k-way refinement)
+is that refining the *k-way* partition directly recovers that loss.  This
+module implements greedy k-way boundary refinement in that spirit:
+
+* for each boundary vertex, the **gain** of moving it to neighbouring part
+  ``p`` is (edge weight to ``p``) − (edge weight to its own part);
+* passes sweep the boundary in random order, applying the best positive-
+  gain move that keeps every part under its weight cap (or any move that
+  strictly repairs an overweight part), updating neighbours incrementally;
+* passes repeat until a sweep makes no move (with a pass cap).
+
+This is a *greedy* (no hill-climbing, no rollback) refiner — boundary
+sweeps with positive-gain moves only — so each pass strictly decreases the
+cut and termination is immediate.  On recursive-bisection partitions it
+typically shaves a few percent off the cut at negligible cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.options import DEFAULT_OPTIONS
+from repro.graph.partition import KWayPartition, edge_cut, part_weights
+from repro.utils.rng import as_generator
+
+
+def refine_kway(
+    graph,
+    partition: KWayPartition,
+    options=DEFAULT_OPTIONS,
+    rng=None,
+    *,
+    max_passes: int = 8,
+) -> KWayPartition:
+    """Greedily refine a k-way partition in place; returns the same object.
+
+    Parameters
+    ----------
+    partition:
+        The :class:`KWayPartition` to improve; ``where``/``cut``/``pwgts``
+        are updated in place.
+    options:
+        ``ubfactor`` bounds every part at ``ubfactor × total / k``.
+    max_passes:
+        Upper bound on boundary sweeps (each pass is monotone, so this is
+        a safety cap, not a tuning knob).
+    """
+    rng = as_generator(rng if rng is not None else options.seed)
+    n = graph.nvtxs
+    k = partition.nparts
+    if n == 0 or k < 2:
+        return partition
+    where = partition.where
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    pwgts = part_weights(graph, where, k)
+    maxpwgt = int(np.ceil(options.ubfactor * graph.total_vwgt() / k))
+    cut = partition.cut
+
+    from repro.graph.partition import boundary_mask
+
+    for _ in range(max_passes):
+        moved = 0
+        pass_gain = 0
+        # Only boundary vertices can have positive-gain moves; sweep them
+        # in random order (O(m) NumPy to find them, Python only on the
+        # boundary).
+        candidates = np.flatnonzero(boundary_mask(graph, where))
+        if len(candidates) == 0:
+            break
+        for v in candidates[rng.permutation(len(candidates))]:
+            v = int(v)
+            s, e = xadj[v], xadj[v + 1]
+            nbr_parts = where[adjncy[s:e]]
+            my = where[v]
+            if not np.any(nbr_parts != my):
+                continue  # became interior earlier this pass
+            # Edge weight of v toward each adjacent part.
+            w = adjwgt[s:e]
+            parts, inverse = np.unique(nbr_parts, return_inverse=True)
+            toward = np.bincount(inverse, weights=w)
+            my_idx = np.flatnonzero(parts == my)
+            internal = float(toward[my_idx[0]]) if len(my_idx) else 0.0
+            w_v = int(vwgt[v])
+
+            must_repair = pwgts[my] > maxpwgt
+            best_part = -1
+            best_gain = -np.inf
+            for p, tw in zip(parts, toward):
+                if p == my:
+                    continue
+                gain = tw - internal
+                fits = pwgts[p] + w_v <= maxpwgt
+                repairs = must_repair and pwgts[p] + w_v < pwgts[my]
+                if not (fits or repairs):
+                    continue
+                if gain > best_gain or (
+                    gain == best_gain and best_part != -1
+                    and pwgts[p] < pwgts[best_part]
+                ):
+                    best_part, best_gain = int(p), gain
+            if best_part == -1:
+                continue
+            # Positive-gain moves always; non-positive gains only as
+            # balance repair (the greedy refiner never hill-climbs).
+            if best_gain <= 0 and not must_repair:
+                continue
+            where[v] = best_part
+            pwgts[my] -= w_v
+            pwgts[best_part] += w_v
+            pass_gain += int(best_gain)
+            cut -= int(best_gain)
+            moved += 1
+        if moved == 0:
+            break
+        # Diminishing returns: stop once a whole pass recovers less than
+        # 0.1 % of the cut — later passes cost full sweeps for crumbs.
+        if pass_gain < max(1, cut // 1000):
+            break
+
+    partition.cut = edge_cut(graph, where)  # exact, guards vs drift
+    partition.pwgts = part_weights(graph, where, k)
+    return partition
+
+
+def partition_refined(graph, nparts, options=DEFAULT_OPTIONS, rng=None):
+    """Recursive bisection followed by direct k-way refinement.
+
+    Convenience wrapper used by the ablation bench comparing the paper's
+    pipeline with its stated future extension.
+    """
+    from repro.core.kway import partition as _partition
+
+    rng = as_generator(rng if rng is not None else options.seed)
+    result = _partition(graph, nparts, options, rng)
+    return refine_kway(graph, result, options, rng)

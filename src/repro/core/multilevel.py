@@ -1,0 +1,165 @@
+"""The multilevel bisection driver (§3): coarsen → partition → uncoarsen.
+
+:func:`bisect` wires the three phases together and accounts time the way the
+paper's tables do:
+
+* ``CTime`` — coarsening;
+* ``ITime`` — initial partition of the coarsest graph;
+* ``RTime`` — refinement across all levels;
+* ``PTime`` — projecting partitions level to level;
+* ``UTime`` — ``ITime + RTime + PTime`` (derived, reported by the bench).
+
+The projected partition of level ``i+1`` is refined on level ``i`` before
+projecting further — "after projecting a partition, a partition refinement
+algorithm is used" — and the coarsest-level partition itself is also
+refined once, which costs nothing (the graph is tiny) and matches the
+released implementation of the paper's system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coarsen import CoarseningHierarchy, coarsen
+from repro.core.initial import initial_bisection
+from repro.core.options import DEFAULT_OPTIONS
+from repro.core.refine import PassStats, refine_bisection
+from repro.graph.partition import Bisection, part_weights
+from repro.utils.errors import PartitionError
+from repro.utils.rng import as_generator
+from repro.utils.timing import PhaseTimer
+
+
+@dataclass
+class MultilevelResult:
+    """Everything :func:`bisect` learned.
+
+    Attributes
+    ----------
+    bisection:
+        Final bisection of the input graph.
+    timers:
+        :class:`PhaseTimer` with CTime/ITime/RTime/PTime totals.
+    nlevels:
+        Number of graphs in the coarsening hierarchy.
+    coarsest_nvtxs:
+        Size of the coarsest graph.
+    initial_cut:
+        Cut of the initial partition *on the coarsest graph* — by the edge
+        weight construction of §3.1 this is directly comparable with the
+        final cut, which is how Table 3 measures coarsening quality.
+    stats:
+        Aggregated refinement pass statistics.
+    """
+
+    bisection: Bisection
+    timers: PhaseTimer
+    nlevels: int
+    coarsest_nvtxs: int
+    initial_cut: int
+    stats: PassStats = field(default_factory=PassStats)
+
+
+def project_where(where_coarse, cmap) -> np.ndarray:
+    """Project a coarse partition assignment to the finer level."""
+    return np.asarray(where_coarse)[cmap]
+
+
+def bisect(
+    graph,
+    options=DEFAULT_OPTIONS,
+    rng=None,
+    *,
+    target0=None,
+    hierarchy: CoarseningHierarchy | None = None,
+) -> MultilevelResult:
+    """Multilevel bisection of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Graph to bisect (≥ 2 vertices).
+    options:
+        Phase configuration; see :class:`~repro.core.options.MultilevelOptions`.
+    target0:
+        Target vertex weight for part 0 (default: half the total).  Part
+        weight caps are ``ubfactor ×`` the respective targets.
+    hierarchy:
+        Pre-computed coarsening hierarchy to reuse (the matching-ablation
+        bench coarsens once and tries several refinements); must have been
+        built from ``graph``.
+
+    Returns
+    -------
+    MultilevelResult
+    """
+    if graph.nvtxs < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    rng = as_generator(rng if rng is not None else options.seed)
+    timers = PhaseTimer()
+    stats = PassStats()
+    total = graph.total_vwgt()
+    if target0 is None:
+        target0 = total // 2
+    if not (0 < target0 < total):
+        raise PartitionError(
+            f"target0 must be in (0, {total}); got {target0}"
+        )
+    target1 = total - target0
+    maxpwgt = (
+        int(np.ceil(options.ubfactor * target0)),
+        int(np.ceil(options.ubfactor * target1)),
+    )
+
+    # --- Phase 1: coarsening -----------------------------------------
+    if hierarchy is None:
+        with timers.phase("CTime"):
+            hierarchy = coarsen(graph, options, rng)
+    coarsest = hierarchy.coarsest
+
+    # --- Phase 2: initial partition ----------------------------------
+    with timers.phase("ITime"):
+        bisection = initial_bisection(coarsest, options, rng, target0)
+    initial_cut = bisection.cut
+
+    # --- Phase 3: uncoarsening ---------------------------------------
+    with timers.phase("RTime"):
+        refine_bisection(
+            coarsest,
+            bisection,
+            options.refinement,
+            options,
+            maxpwgt=maxpwgt,
+            original_nvtxs=graph.nvtxs,
+            stats=stats,
+        )
+    for level in range(hierarchy.nlevels - 2, -1, -1):
+        fine = hierarchy.graphs[level]
+        with timers.phase("PTime"):
+            where = project_where(bisection.where, hierarchy.cmaps[level])
+            bisection = Bisection(
+                where=where,
+                cut=bisection.cut,  # invariant: cut is preserved by projection
+                pwgts=part_weights(fine, where, 2),
+            )
+        with timers.phase("RTime"):
+            refine_bisection(
+                fine,
+                bisection,
+                options.refinement,
+                options,
+                maxpwgt=maxpwgt,
+                original_nvtxs=graph.nvtxs,
+                stats=stats,
+            )
+
+    return MultilevelResult(
+        bisection=bisection,
+        timers=timers,
+        nlevels=hierarchy.nlevels,
+        coarsest_nvtxs=coarsest.nvtxs,
+        initial_cut=initial_cut,
+        stats=stats,
+    )

@@ -1,0 +1,130 @@
+"""Configuration for the multilevel partitioner.
+
+Every knob the paper varies in its experiments is a field here, with the
+paper's chosen default:
+
+* matching scheme — HEM ("we selected the HEM as our matching scheme of
+  choice because of its consistent good behavior", §4.1);
+* initial partitioner — GGGP with 5 trials (GGP uses 10, §3.2);
+* refinement policy — BKLGR with the 2 % boundary-size switch (§3.3);
+* coarsest-graph size — "a few hundred vertices", |Vm| < 100 used in §3.2;
+* KL early-exit — x = 50 ("The choice of x = 50 works quite well", §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class MatchingScheme(str, Enum):
+    """Coarsening matching schemes of §3.1."""
+
+    RM = "rm"  #: random matching
+    HEM = "hem"  #: heavy-edge matching (paper's choice)
+    LEM = "lem"  #: light-edge matching (control)
+    HCM = "hcm"  #: heavy-clique matching (edge-density driven)
+
+
+class InitialScheme(str, Enum):
+    """Coarsest-graph partitioners of §3.2."""
+
+    SBP = "sbp"  #: spectral bisection of the coarsest graph
+    GGP = "ggp"  #: graph growing (BFS), best of ``ggp_trials`` seeds
+    GGGP = "gggp"  #: greedy graph growing, best of ``gggp_trials`` seeds
+
+
+class RefinePolicy(str, Enum):
+    """Uncoarsening refinement policies of §3.3."""
+
+    NONE = "none"  #: project only (used for the Table 3 experiment)
+    GR = "gr"  #: greedy refinement — one KL pass, all vertices seeded
+    KLR = "klr"  #: Kernighan–Lin refinement — passes until converged
+    BGR = "bgr"  #: boundary greedy — one pass, boundary seeded
+    BKLR = "bklr"  #: boundary KL — passes until converged, boundary seeded
+    BKLGR = "bklgr"  #: hybrid: BKLR while boundary ≤ switch threshold, else BGR
+
+
+@dataclass(frozen=True)
+class MultilevelOptions:
+    """Options controlling :func:`repro.core.multilevel.bisect`.
+
+    Attributes
+    ----------
+    matching, initial, refinement:
+        Phase selections; defaults are the paper's recommended combination
+        (HEM + GGGP + BKLGR).
+    coarsen_to:
+        Stop coarsening once the graph has at most this many vertices.
+    coarsen_stall_ratio:
+        Abort coarsening early if a level shrinks the vertex count by less
+        than this factor (guards against matching-resistant graphs such as
+        stars, where maximal matchings stop making progress).
+    max_coarsen_levels:
+        Hard cap on the number of coarsening levels.
+    ggp_trials, gggp_trials:
+        Number of random seeds tried by the graph-growing partitioners; the
+        best cut wins (paper: 10 and 5 respectively).
+    kl_early_exit:
+        The paper's ``x``: a KL pass stops after this many consecutive moves
+        that fail to improve on the best cut seen in the pass, and those
+        trailing moves are undone.
+    max_kl_passes:
+        Cap on KL/BKLR passes per level (each pass is monotone, so this only
+        guards pathological oscillation; the paper's runs converge in a few).
+    ubfactor:
+        Allowed part weight is ``ubfactor ×`` the target part weight.
+    bklgr_boundary_fraction:
+        BKLGR runs multi-pass BKLR while the boundary of the current level
+        holds at most this fraction of the *original* graph's vertices
+        (paper: 2 %), then switches to single-pass BGR.
+    eager_gains:
+        When true, every move eagerly updates all unlocked neighbours'
+        gains in the tables — the 1995 implementation's cost model, under
+        which the boundary policies' *time* advantage (Table 4) appears.
+        The default (false) uses lazy gains validated at pop time, which
+        is faster overall and cut-for-cut identical in quality.
+    gain_table:
+        ``"heap"`` (lazy binary heap, default) or ``"bucket"`` (the
+        classical FM bucket array — O(1) operations, gain-range memory).
+    seed:
+        Default RNG seed used when the caller does not supply one.
+    """
+
+    matching: MatchingScheme = MatchingScheme.HEM
+    initial: InitialScheme = InitialScheme.GGGP
+    refinement: RefinePolicy = RefinePolicy.BKLGR
+    coarsen_to: int = 100
+    coarsen_stall_ratio: float = 0.95
+    max_coarsen_levels: int = 40
+    ggp_trials: int = 10
+    gggp_trials: int = 5
+    kl_early_exit: int = 50
+    max_kl_passes: int = 8
+    ubfactor: float = 1.10
+    bklgr_boundary_fraction: float = 0.02
+    eager_gains: bool = False
+    gain_table: str = "heap"
+    seed: int = 4242
+
+    def with_(self, **kwargs) -> "MultilevelOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def __post_init__(self):
+        if self.coarsen_to < 2:
+            raise ValueError("coarsen_to must be at least 2")
+        if not (0.0 < self.coarsen_stall_ratio <= 1.0):
+            raise ValueError("coarsen_stall_ratio must be in (0, 1]")
+        if self.ubfactor < 1.0:
+            raise ValueError("ubfactor must be >= 1.0")
+        if self.kl_early_exit < 1:
+            raise ValueError("kl_early_exit must be positive")
+        if self.ggp_trials < 1 or self.gggp_trials < 1:
+            raise ValueError("trial counts must be positive")
+        if self.gain_table not in ("heap", "bucket"):
+            raise ValueError("gain_table must be 'heap' or 'bucket'")
+
+
+#: The paper's recommended configuration (HEM + GGGP + BKLGR).
+DEFAULT_OPTIONS = MultilevelOptions()

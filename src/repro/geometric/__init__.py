@@ -1,0 +1,21 @@
+"""Geometric partitioning baselines (§1 discussion).
+
+The paper contrasts multilevel methods with coordinate-based partitioners:
+"fast but often yield partitions that are worse than those obtained by
+spectral methods … geometric graph partitioning algorithms have limited
+applicability because often the geometric information is not available."
+Both points are reproducible with the two classical geometric bisectors
+here, which require ``graph.coords`` and raise when it is absent.
+"""
+
+from repro.geometric.coordinate import (
+    coordinate_bisection,
+    geometric_partition,
+    inertial_bisection,
+)
+
+__all__ = [
+    "coordinate_bisection",
+    "inertial_bisection",
+    "geometric_partition",
+]

@@ -1,0 +1,82 @@
+"""Graph substrate: CSR storage, builders, I/O, contraction, components.
+
+This subpackage is the foundation every partitioning and ordering algorithm
+in :mod:`repro` stands on.  The public surface:
+
+* :class:`CSRGraph` — the storage kernel;
+* builders — :func:`from_edge_list`, :func:`from_adjacency`,
+  :func:`from_scipy_sparse`, :func:`from_networkx`;
+* :func:`read_graph` / :func:`write_graph` — Chaco/METIS format I/O;
+* :func:`contract` / :func:`coarse_map_from_matching` — coarsening kernel;
+* :func:`connected_components`, :func:`extract_subgraph` — structure ops;
+* :func:`edge_cut`, :func:`part_weights`, :func:`boundary_mask`,
+  :class:`Bisection`, :class:`KWayPartition` — partition metrics/records.
+"""
+
+from repro.graph.build import (
+    from_adjacency,
+    from_edge_list,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+)
+from repro.graph.components import (
+    connected_components,
+    extract_subgraph,
+    is_connected,
+    largest_component,
+    num_components,
+)
+from repro.graph.contract import coarse_map_from_matching, contract, matching_weight
+from repro.graph.csr import CSRGraph
+from repro.graph.io import read_graph, read_matrix_market, write_graph
+from repro.graph.metrics import (
+    PartitionReport,
+    communication_volume,
+    halo_sizes,
+    partition_report,
+    subdomain_connectivity,
+)
+from repro.graph.permute import permute_graph
+from repro.graph.partition import (
+    Bisection,
+    KWayPartition,
+    balance,
+    boundary_mask,
+    edge_cut,
+    part_weights,
+)
+from repro.graph.validate import validate_graph
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "from_adjacency",
+    "from_scipy_sparse",
+    "from_networkx",
+    "to_networkx",
+    "read_graph",
+    "write_graph",
+    "read_matrix_market",
+    "contract",
+    "coarse_map_from_matching",
+    "matching_weight",
+    "connected_components",
+    "num_components",
+    "is_connected",
+    "extract_subgraph",
+    "largest_component",
+    "edge_cut",
+    "part_weights",
+    "boundary_mask",
+    "balance",
+    "Bisection",
+    "KWayPartition",
+    "validate_graph",
+    "communication_volume",
+    "halo_sizes",
+    "subdomain_connectivity",
+    "partition_report",
+    "PartitionReport",
+    "permute_graph",
+]

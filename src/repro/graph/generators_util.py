@@ -1,0 +1,29 @@
+"""Shared helpers for the workload generators.
+
+The paper's test graphs are *simple unweighted* graphs (matrix patterns),
+but natural generator code emits duplicates — a triangulation lists each
+interior edge once per incident element, random attachment may pick the
+same pair twice.  :func:`simple_edges` canonicalises an edge array to the
+unique undirected simple edges so generators feed
+:func:`~repro.graph.build.from_edge_list` exactly one copy per edge (weight
+1), instead of having duplicates merge into weight-2 edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def simple_edges(edges: np.ndarray) -> np.ndarray:
+    """Unique undirected edges (u < v) from an ``(E, 2)`` array.
+
+    Drops self-loops and duplicate mentions regardless of orientation.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        return edges.reshape(0, 2)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    canon = np.column_stack([lo, hi])
+    return np.unique(canon, axis=0)

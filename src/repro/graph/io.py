@@ -1,0 +1,135 @@
+"""Graph file I/O.
+
+Two formats are supported:
+
+* the **Chaco/METIS ``.graph`` format** the 1995-era tools exchanged:
+  a header line ``n m [fmt]`` followed by one line per vertex listing its
+  neighbours (1-based), optionally interleaved with weights according to
+  ``fmt`` (``1`` = edge weights, ``10`` = vertex weights, ``11`` = both);
+* a minimal **MatrixMarket** ``coordinate`` reader that extracts the
+  symmetric pattern of a matrix, which is how the paper's Harwell–Boeing
+  matrices would enter the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import GraphValidationError
+
+
+def write_graph(graph: CSRGraph, path) -> None:
+    """Write ``graph`` in Chaco/METIS ``.graph`` format.
+
+    Weights are emitted only when non-trivial, choosing the smallest ``fmt``
+    that represents the graph exactly.
+    """
+    has_vwgt = bool(np.any(graph.vwgt != 1))
+    has_ewgt = bool(np.any(graph.adjwgt != 1))
+    fmt = f"{int(has_vwgt)}{int(has_ewgt)}"
+    with open(path, "w", encoding="ascii") as fh:
+        header = f"{graph.nvtxs} {graph.nedges}"
+        if fmt != "00":
+            header += f" {fmt}"
+        fh.write(header + "\n")
+        for v in range(graph.nvtxs):
+            fields = []
+            if has_vwgt:
+                fields.append(str(int(graph.vwgt[v])))
+            nbrs = graph.neighbors(v)
+            wgts = graph.neighbor_weights(v)
+            for u, w in zip(nbrs, wgts):
+                fields.append(str(int(u) + 1))
+                if has_ewgt:
+                    fields.append(str(int(w)))
+            fh.write(" ".join(fields) + "\n")
+
+
+def read_graph(path) -> CSRGraph:
+    """Read a Chaco/METIS ``.graph`` file.
+
+    Comment lines starting with ``%`` are skipped.  Raises
+    :class:`GraphValidationError` on malformed input (bad counts, asymmetric
+    adjacency, weight mismatches).
+    """
+    with open(path, encoding="ascii") as fh:
+        # Keep blank lines: an isolated vertex's adjacency line is empty.
+        lines = [ln.strip() for ln in fh if not ln.startswith("%")]
+    while lines and not lines[0]:  # leading blank lines before the header
+        lines.pop(0)
+    if not lines:
+        raise GraphValidationError(f"{path}: empty graph file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphValidationError(f"{path}: header needs at least 'n m'")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "00"
+    fmt = fmt.zfill(2)
+    has_vwgt = fmt[-2] == "1"
+    has_ewgt = fmt[-1] == "1"
+    body = lines[1:]
+    # Tolerate extra trailing blank lines beyond the n adjacency lines.
+    while len(body) > n and not body[-1]:
+        body.pop()
+    if len(body) != n:
+        raise GraphValidationError(
+            f"{path}: header says {n} vertices but file has {len(body)} lines"
+        )
+    lines = [lines[0], *body]
+    edges = []
+    weights = []
+    vwgt = np.ones(n, dtype=np.int64)
+    for v, line in enumerate(lines[1:]):
+        fields = [int(tok) for tok in line.split()]
+        pos = 0
+        if has_vwgt:
+            vwgt[v] = fields[0]
+            pos = 1
+        step = 2 if has_ewgt else 1
+        while pos < len(fields):
+            u = fields[pos] - 1
+            w = fields[pos + 1] if has_ewgt else 1
+            if u < 0 or u >= n:
+                raise GraphValidationError(f"{path}: neighbour id {u + 1} out of range")
+            if v < u:  # record each undirected edge once
+                edges.append((v, u))
+                weights.append(w)
+            pos += step
+    graph = from_edge_list(n, edges, weights, vwgt)
+    if graph.nedges != m:
+        raise GraphValidationError(
+            f"{path}: header says {m} edges but adjacency lists give {graph.nedges}"
+        )
+    return graph
+
+
+def read_matrix_market(path) -> CSRGraph:
+    """Read the symmetric pattern of a MatrixMarket ``coordinate`` file.
+
+    Values (if present) are ignored — the partitioner and the ordering codes
+    work on the pattern, as in the paper.  The diagonal is dropped; for a
+    ``general`` matrix the pattern of ``A + A^T`` is used.
+    """
+    with open(path, encoding="ascii") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphValidationError(f"{path}: missing MatrixMarket header")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise GraphValidationError(f"{path}: only 'coordinate' format supported")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(tok) for tok in line.split())
+        if rows != cols:
+            raise GraphValidationError(f"{path}: matrix must be square, got {rows}x{cols}")
+        edges = set()
+        for _ in range(nnz):
+            fields = fh.readline().split()
+            i, j = int(fields[0]) - 1, int(fields[1]) - 1
+            if i == j:
+                continue
+            edges.add((min(i, j), max(i, j)))
+    return from_edge_list(rows, sorted(edges))

@@ -1,0 +1,81 @@
+"""Structural validation of CSR graphs.
+
+A :class:`~repro.graph.csr.CSRGraph` must satisfy:
+
+* ``xadj`` is non-decreasing, starts at 0, ends at ``len(adjncy)``;
+* every adjacency entry is a valid vertex id and not a self-loop;
+* the adjacency is symmetric with matching weights: edge ``(u, v, w)``
+  appears in both ``u``'s and ``v``'s list with the same ``w``;
+* no duplicate neighbours within one vertex's list;
+* vertex weights are positive, edge weights are positive.
+
+Validation is O(m log m) (it sorts each adjacency list), so internal callers
+skip it on graphs produced by trusted kernels; the test suite exercises it
+heavily instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import GraphValidationError
+
+
+def validate_graph(graph) -> None:
+    """Raise :class:`GraphValidationError` if ``graph`` is malformed."""
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    n = len(xadj) - 1
+    if n < 0:
+        raise GraphValidationError("xadj must have at least one entry")
+    if xadj[0] != 0:
+        raise GraphValidationError(f"xadj[0] must be 0, got {xadj[0]}")
+    if xadj[-1] != len(adjncy):
+        raise GraphValidationError(
+            f"xadj[-1] ({xadj[-1]}) must equal len(adjncy) ({len(adjncy)})"
+        )
+    if np.any(np.diff(xadj) < 0):
+        raise GraphValidationError("xadj must be non-decreasing")
+    if len(adjwgt) != len(adjncy):
+        raise GraphValidationError(
+            f"adjwgt length {len(adjwgt)} != adjncy length {len(adjncy)}"
+        )
+    if len(vwgt) != n:
+        raise GraphValidationError(f"vwgt length {len(vwgt)} != nvtxs {n}")
+    if n == 0:
+        return
+    if len(adjncy) and (adjncy.min() < 0 or adjncy.max() >= n):
+        raise GraphValidationError("adjncy contains out-of-range vertex ids")
+    if np.any(vwgt <= 0):
+        raise GraphValidationError("vertex weights must be positive")
+    if len(adjwgt) and np.any(adjwgt <= 0):
+        raise GraphValidationError("edge weights must be positive")
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj))
+    if np.any(src == adjncy):
+        raise GraphValidationError("self-loops are not allowed")
+
+    # Duplicate neighbours: sort (src, dst) pairs and look for equal rows.
+    order = np.lexsort((adjncy, src))
+    s_sorted = src[order]
+    d_sorted = adjncy[order]
+    dup = (s_sorted[1:] == s_sorted[:-1]) & (d_sorted[1:] == d_sorted[:-1])
+    if np.any(dup):
+        i = int(np.flatnonzero(dup)[0])
+        raise GraphValidationError(
+            f"duplicate edge ({s_sorted[i]}, {d_sorted[i]}) in adjacency list"
+        )
+
+    # Symmetry with matching weights: the multiset of (u, v, w) directed
+    # triples must be invariant under swapping u and v.  Compare the sorted
+    # forward table against the sorted reversed table.
+    w_sorted = adjwgt[order]
+    rorder = np.lexsort((src, adjncy))
+    rs = adjncy[rorder].astype(np.int64)
+    rd = src[rorder]
+    rw = adjwgt[rorder]
+    if not (
+        np.array_equal(s_sorted, rs)
+        and np.array_equal(d_sorted.astype(np.int64), rd)
+        and np.array_equal(w_sorted, rw)
+    ):
+        raise GraphValidationError("adjacency is not symmetric with equal weights")

@@ -1,0 +1,31 @@
+"""Sparse linear algebra consumers of the partitioner and the orderings.
+
+The paper's motivation (§1–2) is solving ``Ax = b``: iterative methods
+need a partition that minimises matvec communication; direct methods need
+a fill-reducing ordering.  This subpackage closes the loop by actually
+*solving systems* with both approaches, entirely in NumPy:
+
+* :func:`sparse_cholesky` / :class:`CholeskyFactor` — left-looking sparse
+  Cholesky over the symbolic structure from
+  :mod:`repro.ordering.elimination`, with forward/backward substitution;
+* :func:`conjugate_gradient` — CG with optional Jacobi preconditioning;
+* :func:`laplacian_system` — an SPD test system (graph Laplacian + I);
+* :func:`simulate_parallel_matvec` — per-iteration cost model of a
+  partitioned matvec (compute + halo words + message startups), turning
+  partition metrics into simulated solver time.
+"""
+
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.cholesky import CholeskyFactor, sparse_cholesky
+from repro.linalg.model import MatvecCost, simulate_parallel_matvec
+from repro.linalg.system import SparseSPD, laplacian_system
+
+__all__ = [
+    "sparse_cholesky",
+    "CholeskyFactor",
+    "conjugate_gradient",
+    "laplacian_system",
+    "SparseSPD",
+    "simulate_parallel_matvec",
+    "MatvecCost",
+]

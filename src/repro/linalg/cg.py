@@ -1,0 +1,90 @@
+"""Conjugate gradients — the iterative side of the paper's motivation.
+
+§1: "the solution of a sparse system of linear equations Ax = b via
+iterative methods on a parallel computer gives rise to a graph
+partitioning problem.  A key step in each iteration of these methods is
+the multiplication of a sparse matrix and a (dense) vector."  This module
+provides that iterative method so partitions can be judged by what they
+do to a real solver (see :mod:`repro.linalg.model` for the parallel cost
+model and ``examples/iterative_solver.py`` for the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: list
+
+
+def conjugate_gradient(
+    A,
+    b,
+    *,
+    x0=None,
+    tol: float = 1e-8,
+    maxiter: int | None = None,
+    jacobi: bool = False,
+) -> CGResult:
+    """Solve ``A x = b`` by (optionally Jacobi-preconditioned) CG.
+
+    Parameters
+    ----------
+    A:
+        Anything with a ``matvec(x)`` method and (for ``jacobi``) a
+        ``diag`` attribute — :class:`~repro.linalg.system.SparseSPD` fits.
+    tol:
+        Relative residual target ``‖r‖ / ‖b‖``.
+    maxiter:
+        Iteration cap (default ``10 n``).
+
+    Returns
+    -------
+    CGResult
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = len(b)
+    if maxiter is None:
+        maxiter = 10 * n
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - A.matvec(x)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    inv_diag = None
+    if jacobi:
+        inv_diag = 1.0 / np.asarray(A.diag, dtype=np.float64)
+    z = r * inv_diag if jacobi else r
+    p = z.copy()
+    rz = float(np.dot(r, z))
+    history = [float(np.linalg.norm(r)) / bnorm]
+
+    iterations = 0
+    while history[-1] > tol and iterations < maxiter:
+        Ap = A.matvec(p)
+        alpha = rz / float(np.dot(p, Ap))
+        x += alpha * p
+        r -= alpha * Ap
+        z = r * inv_diag if jacobi else r
+        rz_new = float(np.dot(r, z))
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+        iterations += 1
+        history.append(float(np.linalg.norm(r)) / bnorm)
+
+    return CGResult(
+        x=x,
+        iterations=iterations,
+        converged=history[-1] <= tol,
+        residual_norm=history[-1],
+        residual_history=history,
+    )

@@ -1,0 +1,50 @@
+"""Synthetic workloads standing in for the paper's Table 1 matrices.
+
+The paper evaluates on Harwell–Boeing-era matrices that are not freely
+redistributable; this subpackage generates graphs of the same *classes*
+(see DESIGN.md §2 for the substitution argument):
+
+========================  ==============================================
+paper matrix (class)      generator
+========================  ==============================================
+LSHP3466                  :func:`graded_lshape`
+4ELT                      :func:`airfoil`
+BCSSTK28–33, CANT, …      :func:`stiffness3d` (3-D multi-DOF stiffness)
+BRACK2/COPTER2/ROTOR/…    :func:`fe_tet3d` (3-D FE tetrahedral meshes)
+BCSPWR10                  :func:`power_network`
+MAP                       :func:`highway_network`
+MEMPLUS                   :func:`memory_circuit`
+S38584.1                  :func:`sequential_circuit`
+FINAN512, LHR71           :func:`financial_lp`, :func:`process_matrix`
+========================  ==============================================
+
+:mod:`repro.matrices.suite` holds the named registry used by the
+benchmarks, with paper-matrix aliases and scaled-down default orders.
+"""
+
+from repro.matrices.circuits import memory_circuit, sequential_circuit
+from repro.matrices.highway import highway_network
+from repro.matrices.lp import financial_lp, process_matrix
+from repro.matrices.mesh2d import airfoil, graded_lshape, grid2d
+from repro.matrices.mesh3d import fe_tet3d, grid3d, stiffness3d
+from repro.matrices.power import power_network
+from repro.matrices.suite import SUITE, SuiteEntry, load, suite_names
+
+__all__ = [
+    "grid2d",
+    "graded_lshape",
+    "airfoil",
+    "grid3d",
+    "stiffness3d",
+    "fe_tet3d",
+    "power_network",
+    "highway_network",
+    "sequential_circuit",
+    "memory_circuit",
+    "financial_lp",
+    "process_matrix",
+    "SUITE",
+    "SuiteEntry",
+    "load",
+    "suite_names",
+]

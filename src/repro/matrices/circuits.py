@@ -1,0 +1,119 @@
+"""VLSI circuit-style graph generators (S38584.1 and MEMPLUS analogues).
+
+Circuit graphs differ from FE meshes in exactly the ways the paper calls
+out when motivating HCM: they contain highly connected clusters (standard
+cells, register banks) joined by sparser global nets, their degree
+distribution is skewed (clock/bus nets touch many gates), and they have no
+geometric embedding.  Neither generator attaches coordinates, so the
+geometric baseline correctly refuses these graphs — mirroring the paper's
+"often the geometric information is not available" argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_list
+from repro.graph.components import largest_component
+from repro.graph.generators_util import simple_edges
+from repro.utils.rng import as_generator
+
+
+def sequential_circuit(n: int = 5500, seed: int = 0, *, module_size: int = 12):
+    """Sequential-circuit graph (S38584.1 analogue).
+
+    Gates are grouped into modules; within a module connectivity is dense
+    (near-clique on small random subsets, like a synthesised cell cluster),
+    modules chain locally (datapath), and a skewed number of global nets
+    (clock, reset, scan chains) attach hub vertices to many gates.
+    """
+    rng = as_generator(seed)
+    n_modules = max(2, n // module_size)
+    module = rng.integers(n_modules, size=n)
+    edges = []
+
+    # Intra-module: each vertex links to ~3 random module-mates.
+    for v in range(n):
+        mates = np.flatnonzero(module == module[v])
+        if len(mates) > 1:
+            picks = mates[rng.integers(len(mates), size=min(3, len(mates) - 1))]
+            for u in picks:
+                if u != v:
+                    edges.append((v, int(u)))
+
+    # Module chaining: consecutive modules share a handful of signals.
+    reps = [np.flatnonzero(module == m) for m in range(n_modules)]
+    for m in range(n_modules - 1):
+        a, b = reps[m], reps[m + 1]
+        if len(a) and len(b):
+            k = min(4, len(a), len(b))
+            src = a[rng.integers(len(a), size=k)]
+            dst = b[rng.integers(len(b), size=k)]
+            edges.extend(zip(src.tolist(), dst.tolist()))
+
+    # Global nets: hubs with Pareto-skewed fanout.
+    n_hubs = max(2, n // 500)
+    hubs = rng.integers(n, size=n_hubs)
+    for hub in hubs:
+        fanout = int(min(n - 1, 10 + rng.pareto(1.1) * 40))
+        sinks = rng.integers(n, size=fanout)
+        for s in sinks:
+            if s != hub:
+                edges.append((int(hub), int(s)))
+
+    graph = from_edge_list(n, simple_edges(np.asarray(edges, dtype=np.int64)), validate=False)
+    sub, _ = largest_component(graph)
+    return sub
+
+
+def memory_circuit(n: int = 4200, seed: int = 0):
+    """Memory-circuit graph (MEMPLUS analogue).
+
+    A memory array is a grid of cells wired to shared word lines (rows) and
+    bit lines (columns): the line drivers are very high-degree vertices
+    while cells have degree ≈ 3–4.  MEMPLUS's hub-heavy structure is what
+    makes it hard for every partitioner in Figure 1 — cut any way you like,
+    some bus crosses the cut.
+    """
+    rng = as_generator(seed)
+    # Choose array dimensions: rows × cols cells + row drivers + col drivers
+    # + a periphery of logic ≈ n.
+    side = int(np.sqrt(n * 0.82))
+    rows = side
+    cols = side
+    n_cells = rows * cols
+    row_base = n_cells
+    col_base = n_cells + rows
+    periph_base = col_base + cols
+    total = periph_base + max(8, n // 20)
+
+    cell = np.arange(n_cells)
+    r = cell // cols
+    c = cell % cols
+    edges = [
+        np.column_stack([cell, row_base + r]),  # word lines
+        np.column_stack([cell, col_base + c]),  # bit lines
+    ]
+    # Neighbour coupling inside the array (layout parasitics).
+    grid = cell.reshape(rows, cols)
+    edges.append(np.column_stack([grid[:, :-1].ravel(), grid[:, 1:].ravel()]))
+    edges.append(np.column_stack([grid[:-1, :].ravel(), grid[1:, :].ravel()]))
+    # Periphery logic: random sparse graph attached to the drivers.
+    n_periph = total - periph_base
+    periph = periph_base + np.arange(n_periph)
+    drivers = np.concatenate(
+        [row_base + np.arange(rows), col_base + np.arange(cols)]
+    )
+    attach = drivers[rng.integers(len(drivers), size=n_periph * 2)]
+    edges.append(
+        np.column_stack([np.repeat(periph, 2), attach])
+    )
+    mix = np.column_stack(
+        [periph[rng.integers(n_periph, size=n_periph * 2)],
+         periph[rng.integers(n_periph, size=n_periph * 2)]]
+    )
+    edges.append(mix[mix[:, 0] != mix[:, 1]])
+
+    graph = from_edge_list(total, simple_edges(np.concatenate(edges)), validate=False)
+    sub, _ = largest_component(graph)
+    return sub

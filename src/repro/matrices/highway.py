@@ -1,0 +1,67 @@
+"""Highway-network generator (MAP analogue).
+
+Road networks are large, sparse, quasi-planar graphs of very low average
+degree (MAP: 267k vertices, ~937k nonzeros ⇒ degree ≈ 3.5) with strong
+community structure (cities joined by corridors).  The generator lays out
+clustered points, triangulates locally, and thins the triangulation down to
+road-like degree by keeping the shortest edges at each vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_list
+from repro.graph.components import largest_component
+from repro.graph.generators_util import simple_edges
+from repro.utils.rng import as_generator
+
+
+def highway_network(n: int = 8000, seed: int = 0, *, target_degree: float = 3.5):
+    """Generate an ``n``-vertex quasi-planar road-network-like graph."""
+    rng = as_generator(seed)
+    n_cities = max(6, n // 400)
+    cities = rng.random((n_cities, 2)) * 50.0
+    weights = rng.pareto(1.2, size=n_cities) + 0.5
+    weights /= weights.sum()
+    assign = rng.choice(n_cities, size=n, p=weights)
+    spread = rng.gamma(2.0, 0.8, size=n)[:, None]
+    pts = cities[assign] + rng.normal(size=(n, 2)) * spread
+
+    try:
+        from scipy.spatial import Delaunay
+
+        tri = Delaunay(pts)
+        s = tri.simplices
+        edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+    except ImportError:  # pragma: no cover
+        from repro.matrices.mesh2d import _knn_edges
+
+        edges = _knn_edges(pts, k=4)
+
+    # Thin to road density: keep each vertex's shortest ⌈target_degree⌉
+    # incident edges; an edge survives if either endpoint keeps it (so the
+    # graph stays connected along corridors).
+    lengths = ((pts[edges[:, 0]] - pts[edges[:, 1]]) ** 2).sum(axis=1)
+    canon = np.sort(edges, axis=1)
+    uniq, inverse = np.unique(canon, axis=0, return_index=True)
+    lengths = lengths[inverse]
+    keep_k = int(np.ceil(target_degree))
+    keep = np.zeros(len(uniq), dtype=bool)
+    order = np.argsort(lengths)
+    degree_used = np.zeros(n, dtype=np.int64)
+    for ei in order:
+        u, v = uniq[ei]
+        # Keep an edge when both endpoints still want more roads, or when
+        # an endpoint would otherwise be stranded with no road at all.
+        if (degree_used[u] < keep_k and degree_used[v] < keep_k) or (
+            degree_used[u] == 0 or degree_used[v] == 0
+        ):
+            keep[ei] = True
+            degree_used[u] += 1
+            degree_used[v] += 1
+
+    graph = from_edge_list(n, simple_edges(uniq[keep]), validate=False)
+    graph.coords = pts
+    sub, _ = largest_component(graph)
+    return sub

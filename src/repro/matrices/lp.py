@@ -1,0 +1,102 @@
+"""Linear-programming / process-matrix graph generators.
+
+* :func:`financial_lp` — FINAN512 analogue.  FINAN512 is a multistage
+  stochastic financial LP: its graph is a balanced scenario *tree* of
+  dense blocks — each node of the tree is a clique-ish block of linking
+  constraints, children couple to parents through shared variables.  The
+  paper's intro uses exactly this class for "there is no geometry
+  associated with the graph".
+* :func:`process_matrix` — LHR71 analogue (light-hydrocarbon-recovery
+  process simulation): a chain of processing-unit blocks, each internally
+  dense and coupled to its neighbours through stream variables, plus a few
+  recycle streams that jump back along the chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators_util import simple_edges
+from repro.utils.rng import as_generator
+
+
+def _dense_block_edges(members: np.ndarray, rng, inner_degree: int):
+    """Sparse-random near-clique on ``members`` (~inner_degree per vertex)."""
+    k = len(members)
+    if k < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    picks = min(inner_degree, k - 1)
+    src = np.repeat(members, picks)
+    dst = members[rng.integers(k, size=len(src))]
+    mask = src != dst
+    return np.column_stack([src[mask], dst[mask]])
+
+
+def financial_lp(
+    n: int = 7000,
+    seed: int = 0,
+    *,
+    branching: int = 2,
+    depth: int = 7,
+    inner_degree: int = 6,
+):
+    """Scenario-tree LP graph (FINAN512 analogue).
+
+    A complete ``branching``-ary tree of depth ``depth``; each tree node
+    owns a block of ≈ ``n / #nodes`` vertices wired as a sparse near-clique,
+    and each child block couples to its parent block through a band of
+    shared variables.
+    """
+    rng = as_generator(seed)
+    n_nodes = (branching ** (depth + 1) - 1) // (branching - 1) if branching > 1 else depth + 1
+    block = max(4, n // n_nodes)
+    total = n_nodes * block
+    blocks = [np.arange(i * block, (i + 1) * block, dtype=np.int64) for i in range(n_nodes)]
+
+    edges = [_dense_block_edges(b, rng, inner_degree) for b in blocks]
+    for child in range(1, n_nodes):
+        parent = (child - 1) // branching
+        k = max(2, block // 4)
+        src = blocks[child][rng.integers(block, size=k)]
+        dst = blocks[parent][rng.integers(block, size=k)]
+        edges.append(np.column_stack([src, dst]))
+    graph = from_edge_list(total, simple_edges(np.concatenate(edges)), validate=False)
+    from repro.graph.components import largest_component
+
+    sub, _ = largest_component(graph)
+    return sub
+
+
+def process_matrix(
+    n: int = 7000,
+    seed: int = 0,
+    *,
+    n_units: int = 70,
+    inner_degree: int = 10,
+    recycles: int = 8,
+):
+    """Process-simulation graph (LHR71 analogue): a chain of dense units."""
+    rng = as_generator(seed)
+    block = max(6, n // n_units)
+    total = n_units * block
+    blocks = [np.arange(i * block, (i + 1) * block, dtype=np.int64) for i in range(n_units)]
+
+    edges = [_dense_block_edges(b, rng, inner_degree) for b in blocks]
+    for i in range(n_units - 1):  # stream couplings along the chain
+        k = max(2, block // 5)
+        src = blocks[i][rng.integers(block, size=k)]
+        dst = blocks[i + 1][rng.integers(block, size=k)]
+        edges.append(np.column_stack([src, dst]))
+    for _ in range(recycles):  # recycle streams jump backwards
+        i = int(rng.integers(2, n_units))
+        j = int(rng.integers(0, i - 1))
+        k = max(1, block // 8)
+        src = blocks[i][rng.integers(block, size=k)]
+        dst = blocks[j][rng.integers(block, size=k)]
+        edges.append(np.column_stack([src, dst]))
+    graph = from_edge_list(total, simple_edges(np.concatenate(edges)), validate=False)
+    from repro.graph.components import largest_component
+
+    sub, _ = largest_component(graph)
+    return sub

@@ -1,0 +1,134 @@
+"""2-D finite-element-style graph generators.
+
+Stand-ins for the paper's 2-D matrices:
+
+* :func:`grid2d` — structured 5-/9-point grids, the canonical FE pattern;
+* :func:`graded_lshape` — the "graded L-shape pattern" of LSHP3466: an
+  L-shaped domain whose mesh is geometrically graded toward the re-entrant
+  corner (where the solution of the underlying PDE is singular);
+* :func:`airfoil` — an unstructured triangulation analogue of 4ELT: points
+  concentrated around an airfoil-shaped body, Delaunay-triangulated (SciPy
+  when available; a jittered-grid triangulation otherwise, which preserves
+  the planar bounded-degree structure that matters to the partitioner).
+
+All generators attach vertex coordinates so the geometric baseline can run
+on them, and all return connected graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_list
+from repro.graph.components import largest_component
+from repro.graph.generators_util import simple_edges
+from repro.utils.rng import as_generator
+
+
+def grid2d(nx: int, ny: int, *, nine_point: bool = False):
+    """``nx × ny`` structured grid (5-point, or 9-point with diagonals)."""
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be positive")
+    idx = np.arange(nx * ny).reshape(ny, nx)
+    edges = []
+    edges.append(np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]))
+    edges.append(np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()]))
+    if nine_point:
+        edges.append(np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()]))
+        edges.append(np.column_stack([idx[:-1, 1:].ravel(), idx[1:, :-1].ravel()]))
+    graph = from_edge_list(nx * ny, np.concatenate(edges), validate=False)
+    ys, xs = np.divmod(np.arange(nx * ny), nx)
+    graph.coords = np.column_stack([xs.astype(float), ys.astype(float)])
+    return graph
+
+
+def graded_lshape(n_target: int = 3400, *, grading: float = 0.15):
+    """Graded L-shape mesh (LSHP3466 analogue).
+
+    Builds a ``(2s+1) × (2s+1)`` grid, removes the open upper-right
+    quadrant to form the L, and grades the *coordinates* geometrically
+    toward the re-entrant corner.  Connectivity is the 5-point stencil of
+    the surviving nodes; ``s`` is chosen so the vertex count approximates
+    ``n_target`` (the L keeps ~3/4 of the square).
+    """
+    side = int(round(np.sqrt(n_target / 0.75)))
+    side = max(side | 1, 5)  # odd, so the corner lands on a node
+    half = side // 2
+    keep = np.ones((side, side), dtype=bool)
+    keep[half + 1 :, half + 1 :] = False  # open quadrant removed
+    ids = np.full((side, side), -1, dtype=np.int64)
+    ids[keep] = np.arange(int(keep.sum()))
+
+    edges = []
+    for dy, dx in ((0, 1), (1, 0)):
+        a = ids[: side - dy, : side - dx]
+        b = ids[dy:, dx:]
+        mask = (a >= 0) & (b >= 0)
+        edges.append(np.column_stack([a[mask], b[mask]]))
+    graph = from_edge_list(int(keep.sum()), np.concatenate(edges), validate=False)
+
+    # Graded coordinates: spacing shrinks geometrically toward the corner.
+    t = np.linspace(-1.0, 1.0, side)
+    graded = np.sign(t) * np.abs(t) ** (1.0 + grading)
+    yy, xx = np.meshgrid(graded, graded, indexing="ij")
+    graph.coords = np.column_stack([xx[keep], yy[keep]])
+    return graph
+
+
+def airfoil(n: int = 4000, seed: int = 0):
+    """Unstructured 2-D triangulation around an airfoil (4ELT analogue).
+
+    Point density falls off with distance from an elliptic "airfoil", so
+    element sizes vary by orders of magnitude exactly as in 4ELT.  The
+    points are Delaunay-triangulated when SciPy is importable; otherwise a
+    jittered structured triangulation of the same density field is used.
+    """
+    rng = as_generator(seed)
+    # Rejection-sample points with density ~ 1/(r + eps)² around the
+    # airfoil surface (a thin ellipse at the origin), iterating until we
+    # have enough — the acceptance rate depends on the density field.
+    collected = []
+    count = 0
+    while count < n:
+        raw = rng.random((4 * n, 2)) * 2.0 - 1.0  # in [-1, 1]^2
+        r = np.sqrt((raw[:, 0] / 0.5) ** 2 + (raw[:, 1] / 0.08) ** 2)
+        accept = (rng.random(len(raw)) < 1.0 / (0.3 + r) ** 2) & (r > 1.0)
+        pts = raw[accept]
+        collected.append(pts)
+        count += len(pts)
+    pts = np.concatenate(collected)[:n]
+    return _triangulate(pts, rng)
+
+
+def _triangulate(pts: np.ndarray, rng):
+    """Triangulate a 2-D point cloud into a mesh graph."""
+    try:
+        from scipy.spatial import Delaunay  # optional dependency
+
+        tri = Delaunay(pts)
+        simplices = tri.simplices
+        edges = np.concatenate(
+            [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+        )
+    except ImportError:  # pragma: no cover - exercised only without scipy
+        edges = _knn_edges(pts, k=6)
+    graph = from_edge_list(len(pts), simple_edges(edges), validate=False)
+    graph.coords = pts.copy()
+    sub, vmap = largest_component(graph)
+    return sub
+
+
+def _knn_edges(pts: np.ndarray, k: int) -> np.ndarray:
+    """k-nearest-neighbour edges (fallback triangulation substitute)."""
+    n = len(pts)
+    edges = []
+    # Chunked O(n²) distances — acceptable for the sizes we generate.
+    for start in range(0, n, 512):
+        block = pts[start : start + 512]
+        d2 = ((block[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        for i in range(len(block)):
+            d2[i, start + i] = np.inf
+        nearest = np.argsort(d2, axis=1)[:, :k]
+        src = np.repeat(np.arange(start, start + len(block)), k)
+        edges.append(np.column_stack([src, nearest.ravel()]))
+    return np.concatenate(edges)

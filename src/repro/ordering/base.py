@@ -1,0 +1,58 @@
+"""Ordering result record shared by MLND, MMD and SND."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import OrderingError
+
+
+@dataclass
+class Ordering:
+    """A fill-reducing ordering.
+
+    Attributes
+    ----------
+    perm:
+        ``perm[k]`` is the vertex eliminated at step ``k`` (new → old).
+    iperm:
+        Inverse: ``iperm[v]`` is the elimination step of vertex ``v``
+        (old → new).
+    method:
+        Human-readable producer tag ("mlnd", "mmd", "snd", "natural").
+    """
+
+    perm: np.ndarray
+    iperm: np.ndarray
+    method: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_perm(cls, perm, method="") -> "Ordering":
+        """Build from a new→old permutation, deriving the inverse."""
+        perm = np.asarray(perm, dtype=np.int64)
+        n = len(perm)
+        if not np.array_equal(np.sort(perm), np.arange(n)):
+            raise OrderingError("perm is not a permutation of 0..n-1")
+        iperm = np.empty(n, dtype=np.int64)
+        iperm[perm] = np.arange(n)
+        return cls(perm=perm, iperm=iperm, method=method)
+
+    @classmethod
+    def identity(cls, n, method="natural") -> "Ordering":
+        """The natural (identity) ordering."""
+        eye = np.arange(n, dtype=np.int64)
+        return cls(perm=eye.copy(), iperm=eye.copy(), method=method)
+
+    def verify(self) -> None:
+        """Raise unless perm/iperm are mutually inverse permutations."""
+        n = len(self.perm)
+        if not np.array_equal(np.sort(self.perm), np.arange(n)):
+            raise OrderingError("perm is not a permutation")
+        if not np.array_equal(self.perm[self.iperm], np.arange(n)):
+            raise OrderingError("iperm is not the inverse of perm")
+
+    def __len__(self) -> int:
+        return len(self.perm)

@@ -1,0 +1,206 @@
+"""Symbolic Cholesky factorization: fill, operation counts, concurrency.
+
+Section 4.3 of the paper evaluates orderings by the **number of operations**
+required to factor the reordered matrix, and argues nested-dissection
+orderings additionally win on **concurrency** (elimination trees that are
+short and balanced rather than "long and slender").  This module computes
+all of those quantities from the graph and a permutation, with no numeric
+factorization:
+
+* :func:`elimination_tree` — Liu's O(m·α(n)) algorithm with path
+  compression;
+* :func:`symbolic_factor` — per-column nonzero structure of the Cholesky
+  factor L by the children-merge recurrence
+  ``struct(j) = adj⁺(j) ∪ ⋃_{parent(c)=j} (struct(c) ∖ {c, j})``;
+* :class:`FactorStats` — fill, flop count, elimination-tree height and the
+  critical-path opcount (a machine-independent concurrency proxy: parallel
+  factor time with unlimited processors ≈ critical path, so
+  ``opcount / critical_path`` is the available speedup).
+
+Flop model: factoring column ``j`` with ``c_j`` off-diagonal nonzeros costs
+one square root, ``c_j`` divisions and ``c_j (c_j + 1) / 2``
+multiply-subtract pairs; we report
+``ops(j) = (c_j + 1)² ≈`` multiplications + divisions, the same quadratic
+count whose ratios the paper compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import OrderingError
+
+
+def _check_permutation(n, perm):
+    perm = np.asarray(perm, dtype=np.int64)
+    if len(perm) != n or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise OrderingError("perm is not a permutation of 0..n-1")
+    return perm
+
+
+def elimination_tree(graph, perm) -> np.ndarray:
+    """Parent array of the elimination tree under ordering ``perm``.
+
+    ``perm[k]`` is the vertex eliminated at step ``k`` (new→old).  Returns
+    ``parent`` in *new* labels: ``parent[k]`` is the etree parent of the
+    k-th eliminated vertex, or ``-1`` for roots.  Liu's algorithm with path
+    compression (virtual forest), O(m · α(n)).
+    """
+    n = graph.nvtxs
+    perm = _check_permutation(n, perm)
+    iperm = np.empty(n, dtype=np.int64)
+    iperm[perm] = np.arange(n)
+
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    xadj, adjncy = graph.xadj, graph.adjncy
+    for j in range(n):
+        v = perm[j]
+        for u in adjncy[xadj[v] : xadj[v + 1]]:
+            i = iperm[u]
+            if i >= j:
+                continue
+            # Walk i's virtual root, compressing the path onto j.
+            while ancestor[i] != -1 and ancestor[i] != j:
+                next_i = ancestor[i]
+                ancestor[i] = j
+                i = next_i
+            if ancestor[i] == -1:
+                ancestor[i] = j
+                parent[i] = j
+    return parent
+
+
+def symbolic_factor(graph, perm):
+    """Column structures of L under ordering ``perm``.
+
+    Returns ``(counts, parent)`` where ``counts[j]`` is the number of
+    off-diagonal nonzeros in column ``j`` of L (new labels) and ``parent``
+    is the elimination tree.  Runs the children-merge recurrence with
+    NumPy set unions per column; memory is O(|L|).
+    """
+    n = graph.nvtxs
+    perm = _check_permutation(n, perm)
+    iperm = np.empty(n, dtype=np.int64)
+    iperm[perm] = np.arange(n)
+
+    xadj, adjncy = graph.xadj, graph.adjncy
+    children: list[list[int]] = [[] for _ in range(n)]
+    structs: list = [None] * n
+    counts = np.zeros(n, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+
+    for j in range(n):
+        v = perm[j]
+        nbrs = iperm[adjncy[xadj[v] : xadj[v + 1]]]
+        pieces = [nbrs[nbrs > j]]
+        for c in children[j]:
+            s = structs[c]
+            pieces.append(s[s > j])
+            structs[c] = None  # free as soon as the parent has consumed it
+        merged = np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
+        structs[j] = merged
+        counts[j] = len(merged)
+        if len(merged):
+            p = int(merged[0])  # smallest above-diagonal row index = parent
+            parent[j] = p
+            children[p].append(j)
+    return counts, parent
+
+
+def symbolic_structure(graph, perm):
+    """Full column structures of L (new labels), for numeric factorization.
+
+    Like :func:`symbolic_factor` but *retains* every column's sorted
+    below-diagonal row indices instead of freeing them; memory is O(|L|).
+    Returns ``(structs, parent)`` with ``structs[j]`` an int64 array of
+    rows ``> j``.
+    """
+    n = graph.nvtxs
+    perm = _check_permutation(n, perm)
+    iperm = np.empty(n, dtype=np.int64)
+    iperm[perm] = np.arange(n)
+
+    xadj, adjncy = graph.xadj, graph.adjncy
+    children: list[list[int]] = [[] for _ in range(n)]
+    structs: list = [None] * n
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        v = perm[j]
+        nbrs = iperm[adjncy[xadj[v] : xadj[v + 1]]]
+        pieces = [nbrs[nbrs > j]]
+        for c in children[j]:
+            s = structs[c]
+            pieces.append(s[s > j])
+        merged = np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
+        structs[j] = merged
+        if len(merged):
+            p = int(merged[0])
+            parent[j] = p
+            children[p].append(j)
+    return structs, parent
+
+
+@dataclass(frozen=True)
+class FactorStats:
+    """Summary of a symbolic factorization.
+
+    Attributes
+    ----------
+    nnz_factor:
+        Nonzeros in L including the diagonal.
+    fill:
+        Nonzeros of L (below diagonal) minus nonzeros of the lower
+        triangle of A — the fill-in the ordering induced.
+    opcount:
+        ``Σ_j (c_j + 1)²`` — the quadratic flop count (see module doc).
+    tree_height:
+        Height of the elimination tree in vertices (longest chain).
+    critical_path_ops:
+        Maximum root-to-leaf sum of per-column opcounts: parallel
+        factorization time with unbounded processors.
+    """
+
+    nnz_factor: int
+    fill: int
+    opcount: int
+    tree_height: int
+    critical_path_ops: int
+
+    @property
+    def available_parallelism(self) -> float:
+        """``opcount / critical_path_ops`` — the paper's concurrency point."""
+        return self.opcount / max(1, self.critical_path_ops)
+
+
+def factor_stats(graph, perm) -> FactorStats:
+    """Compute :class:`FactorStats` for ``graph`` under ordering ``perm``."""
+    counts, parent = symbolic_factor(graph, perm)
+    n = graph.nvtxs
+    ops = (counts + 1) ** 2
+    opcount = int(ops.sum())
+    nnz_factor = int(counts.sum()) + n
+    fill = int(counts.sum()) - graph.nedges
+
+    # Heights and critical paths bottom-up: process in index order — a
+    # child always has a smaller new-label than its parent.
+    height = np.ones(n, dtype=np.int64)
+    path = ops.astype(np.int64).copy()
+    for j in range(n):
+        p = parent[j]
+        if p >= 0:
+            if height[j] + 1 > height[p]:
+                height[p] = height[j] + 1
+            if path[j] + ops[p] > path[p]:
+                path[p] = path[j] + ops[p]
+    tree_height = int(height.max(initial=0))
+    critical = int(path.max(initial=0))
+    return FactorStats(
+        nnz_factor=nnz_factor,
+        fill=fill,
+        opcount=opcount,
+        tree_height=tree_height,
+        critical_path_ops=critical,
+    )

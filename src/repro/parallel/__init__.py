@@ -1,0 +1,48 @@
+"""Parallel-formulation substrate (§5 of the paper's narrative).
+
+The paper's closing argument is about parallelisation: coarsening is easy
+to parallelise, classical KL is not, and the boundary refinement schemes
+"reduce this bottleneck substantially — in fact our parallel
+implementation [23] of this multilevel partitioning is able to get a
+speedup of as much as 56 on a 128-processor Cray T3D for moderate size
+problems."
+
+We do not have a T3D; per the substitution rule we build the closest
+synthetic equivalent that exercises the same structure:
+
+* :mod:`repro.parallel.coloring` — distributed-style graph colourings
+  (Luby/Jones–Plassmann), the device that turns matching and boundary
+  refinement into independent parallel rounds;
+* :mod:`repro.parallel.stats` — per-level instrumentation of a multilevel
+  run (sizes, boundary sizes, refinement moves);
+* :mod:`repro.parallel.model` — an α–β machine model that prices each
+  phase of the parallel formulation from those statistics and produces
+  speedup curves;
+* :func:`estimate_parallel_speedup` — the headline: simulated speedup of
+  the parallel multilevel algorithm on ``p`` processors.
+"""
+
+from repro.parallel.coloring import (
+    greedy_coloring,
+    handshake_matching_rounds,
+    is_proper_coloring,
+    luby_coloring,
+)
+from repro.parallel.model import (
+    MachineParameters,
+    ParallelEstimate,
+    estimate_parallel_speedup,
+)
+from repro.parallel.stats import LevelStats, collect_level_stats
+
+__all__ = [
+    "luby_coloring",
+    "handshake_matching_rounds",
+    "greedy_coloring",
+    "is_proper_coloring",
+    "collect_level_stats",
+    "LevelStats",
+    "MachineParameters",
+    "ParallelEstimate",
+    "estimate_parallel_speedup",
+]

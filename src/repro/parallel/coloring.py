@@ -1,0 +1,142 @@
+"""Distance-1 graph colourings, the parallelisation device of [23].
+
+A parallel matching (or a parallel refinement sweep) must never let two
+adjacent vertices act simultaneously.  The standard fix — used by the
+paper's parallel formulation and by every distributed partitioner since —
+is to colour the graph and process one colour class per round: vertices
+of equal colour form an independent set, so all of them may match/move at
+once.  The number of colours bounds the number of communication rounds.
+
+Two algorithms:
+
+* :func:`luby_coloring` — the Luby/Jones–Plassmann randomized scheme each
+  processor could run locally: every still-uncoloured vertex draws a
+  random priority, local maxima among uncoloured neighbours take the
+  current colour, repeat.  Rounds are fully vectorised here, mirroring
+  the "everyone acts at once" structure of the distributed algorithm.
+* :func:`greedy_coloring` — sequential first-fit baseline (fewer colours,
+  inherently serial) for comparison in tests and the model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def luby_coloring(graph, rng=None) -> np.ndarray:
+    """Jones–Plassmann/Luby colouring; returns int colours per vertex.
+
+    Each round, every uncoloured vertex that holds the maximum priority
+    among its uncoloured neighbours receives the round's colour.  Expected
+    O(log n) rounds; every round is a constant number of vectorised
+    passes over the edge arrays.
+    """
+    rng = as_generator(rng)
+    n = graph.nvtxs
+    color = np.full(n, -1, dtype=np.int32)
+    if n == 0:
+        return color
+    priority = rng.random(n)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    dst = graph.adjncy
+
+    current = 0
+    while True:
+        uncolored = color == -1
+        if not uncolored.any():
+            break
+        # Highest uncoloured-neighbour priority per vertex.
+        live = uncolored[src] & uncolored[dst]
+        best_nbr = np.zeros(n)
+        if live.any():
+            np.maximum.at(best_nbr, src[live], priority[dst[live]])
+        winners = uncolored & (priority > best_nbr)
+        # Isolated-in-the-uncoloured-subgraph vertices always win.
+        if not winners.any():  # pragma: no cover - ties on float priorities
+            winners = uncolored & (priority >= best_nbr)
+        color[winners] = current
+        current += 1
+    return color
+
+
+def greedy_coloring(graph, order=None) -> np.ndarray:
+    """First-fit colouring in the given (default: natural) vertex order."""
+    n = graph.nvtxs
+    color = np.full(n, -1, dtype=np.int32)
+    if order is None:
+        order = range(n)
+    for v in order:
+        nbr_colors = set(int(c) for c in color[graph.neighbors(v)] if c >= 0)
+        c = 0
+        while c in nbr_colors:
+            c += 1
+        color[v] = c
+    return color
+
+
+def handshake_matching_rounds(graph, rng=None, max_rounds=None):
+    """Simulate the parallel handshake matching of [23]; return rounds.
+
+    Per round, every unmatched vertex "extends a hand" to its
+    highest-priority unmatched neighbour (fresh random priorities each
+    round); mutual proposals match.  The matched fraction grows
+    geometrically, so real implementations cap the rounds (``max_rounds``,
+    as parallel METIS does — leftover vertices are simply copied to the
+    coarse graph) rather than paying the long tail to maximality.
+
+    Returns
+    -------
+    (rounds, match):
+        Number of rounds executed and the resulting matching in
+        involution form (maximal only when ``max_rounds`` is ``None``).
+    """
+    rng = as_generator(rng)
+    n = graph.nvtxs
+    match = np.arange(n, dtype=np.int64)
+    unmatched = np.ones(n, dtype=bool)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    dst = graph.adjncy.astype(np.int64)
+
+    rounds = 0
+    while max_rounds is None or rounds < max_rounds:
+        live = unmatched[src] & unmatched[dst]
+        if not live.any():
+            break
+        rounds += 1
+        priority = rng.random(n)
+        ls, ld = src[live], dst[live]
+        # Each vertex proposes to its max-priority unmatched neighbour.
+        best = np.full(n, -1.0)
+        np.maximum.at(best, ls, priority[ld])
+        is_best = priority[ld] == best[ls]
+        proposal = np.full(n, -1, dtype=np.int64)
+        proposal[ls[is_best]] = ld[is_best]  # last writer wins among ties
+        # Mutual proposals shake hands.
+        proposers = np.flatnonzero(proposal >= 0)
+        mutual = proposers[proposal[proposal[proposers]] == proposers]
+        a = mutual
+        b = proposal[mutual]
+        keep = a < b
+        a, b = a[keep], b[keep]
+        match[a] = b
+        match[b] = a
+        unmatched[a] = False
+        unmatched[b] = False
+    return rounds, match
+
+
+def is_proper_coloring(graph, color) -> bool:
+    """No edge joins two vertices of equal colour, and all are coloured."""
+    color = np.asarray(color)
+    if len(color) != graph.nvtxs or (len(color) and color.min() < 0):
+        return False
+    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    return not bool((color[src] == color[graph.adjncy]).any())
+
+
+def num_colors(color) -> int:
+    """Number of distinct colours used."""
+    color = np.asarray(color)
+    return int(color.max()) + 1 if len(color) else 0

@@ -1,0 +1,28 @@
+"""Spectral methods: the substrate (Laplacian, Lanczos, Fiedler vectors)
+and the paper's spectral baselines (flat SB, MSB, MSB-KL, Chaco-ML).
+"""
+
+from repro.spectral.bisection import spectral_bisection
+from repro.spectral.chaco_ml import chaco_ml_bisect, chaco_ml_partition
+from repro.spectral.fiedler import algebraic_connectivity, fiedler_vector
+from repro.spectral.laplacian import (
+    LaplacianOperator,
+    dense_laplacian,
+    weighted_degrees,
+)
+from repro.spectral.lanczos import lanczos_smallest
+from repro.spectral.msb import msb_bisect, msb_partition
+
+__all__ = [
+    "fiedler_vector",
+    "algebraic_connectivity",
+    "spectral_bisection",
+    "dense_laplacian",
+    "weighted_degrees",
+    "LaplacianOperator",
+    "lanczos_smallest",
+    "msb_bisect",
+    "msb_partition",
+    "chaco_ml_bisect",
+    "chaco_ml_partition",
+]

@@ -1,0 +1,39 @@
+"""Flat spectral bisection: Fiedler vector + weighted-median split.
+
+This is the classical Pothen–Simon–Liou recipe ([33] in the paper): sort
+vertices by their Fiedler coordinate and cut at the point where part 0
+first reaches its target weight.  It serves as the coarse partitioner for
+Chaco-ML and as a standalone (slow) baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.initial import split_at_weighted_median
+from repro.graph.partition import Bisection
+from repro.spectral.fiedler import fiedler_vector
+from repro.utils.errors import PartitionError
+from repro.utils.rng import as_generator
+
+
+def spectral_bisection(graph, target0=None, rng=None, **fiedler_kwargs) -> Bisection:
+    """Bisect ``graph`` by the weighted median of its Fiedler vector.
+
+    Parameters
+    ----------
+    target0:
+        Target vertex weight of part 0 (defaults to half the total).
+    fiedler_kwargs:
+        Forwarded to :func:`repro.spectral.fiedler.fiedler_vector` —
+        ``tol``, ``krylov_dim``, ``start``, …
+
+    Returns
+    -------
+    repro.graph.partition.Bisection
+    """
+    if graph.nvtxs < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    rng = as_generator(rng)
+    if target0 is None:
+        target0 = graph.total_vwgt() // 2
+    vec = fiedler_vector(graph, rng, **fiedler_kwargs)
+    return split_at_weighted_median(graph, vec, target0)

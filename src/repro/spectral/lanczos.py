@@ -1,0 +1,126 @@
+"""Lanczos iteration for the small end of a Laplacian spectrum.
+
+The Fiedler vector is the eigenvector of the second-smallest eigenvalue of
+``L``.  Since the smallest eigenpair is known exactly (λ=0 with the
+constant vector, for a connected graph), we run Lanczos on ``L`` while
+**deflating the constant vector**: the start vector and every Lanczos basis
+vector are kept orthogonal to 𝟙.  Full reorthogonalisation is used — the
+Krylov dimensions here are small (tens), so the O(nk²) cost is irrelevant
+next to the robustness it buys (plain Lanczos loses orthogonality and
+produces ghost eigenvalues, which for partitioning means garbage splits).
+
+This module is self-contained (no scipy): the tridiagonal eigenproblem is
+solved with ``numpy.linalg.eigh_tridiagonal``-equivalent via dense ``eigh``
+on the k×k tridiagonal matrix, which is exact and cheap at these sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def _orthonormalize_against(v, basis):
+    """Remove components of ``v`` along each (unit) vector in ``basis``."""
+    for q in basis:
+        v -= np.dot(q, v) * q
+    return v
+
+
+def lanczos_smallest(
+    matvec,
+    n,
+    *,
+    rng=None,
+    start=None,
+    deflate=None,
+    krylov_dim=40,
+    restarts=8,
+    tol=1e-8,
+):
+    """Smallest eigenpair of a symmetric PSD operator, with deflation.
+
+    Parameters
+    ----------
+    matvec:
+        Callable computing ``A @ x``.
+    n:
+        Dimension.
+    start:
+        Optional warm-start vector (MSB interpolates the coarse Fiedler
+        vector here).  A random vector is used otherwise.
+    deflate:
+        List of unit vectors to project out (the constant vector for the
+        Fiedler computation).
+    krylov_dim, restarts:
+        Krylov space size per cycle and number of restart cycles; each
+        restart re-seeds with the current best Ritz vector.
+    tol:
+        Relative residual tolerance on ``‖Ax − λx‖ / max(λ, 1)``.
+
+    Returns
+    -------
+    (eigenvalue, eigenvector):
+        The smallest eigenpair in the deflated subspace.
+    """
+    rng = as_generator(rng)
+    deflate = [] if deflate is None else [np.asarray(q, dtype=np.float64) for q in deflate]
+    if start is None:
+        v = rng.standard_normal(n)
+    else:
+        v = np.array(start, dtype=np.float64, copy=True)
+
+    krylov_dim = min(krylov_dim, max(2, n - len(deflate)))
+    lam = None
+    for _ in range(restarts):
+        v = _orthonormalize_against(v, deflate)
+        norm = np.linalg.norm(v)
+        if norm < 1e-30:  # degenerate start (e.g. constant); re-randomise
+            v = _orthonormalize_against(rng.standard_normal(n), deflate)
+            norm = np.linalg.norm(v)
+        v = v / norm
+
+        qs = [v]
+        alphas: list[float] = []
+        betas: list[float] = []
+        for j in range(krylov_dim):
+            w = matvec(qs[j])
+            alpha = float(np.dot(qs[j], w))
+            alphas.append(alpha)
+            w -= alpha * qs[j]
+            if j > 0:
+                w -= betas[j - 1] * qs[j - 1]
+            # Full reorthogonalisation against the basis and deflation space.
+            w = _orthonormalize_against(w, deflate)
+            w = _orthonormalize_against(w, qs)
+            beta = float(np.linalg.norm(w))
+            if beta < 1e-12 or j == krylov_dim - 1:
+                break
+            betas.append(beta)
+            qs.append(w / beta)
+
+        k = len(alphas)
+        tri = np.zeros((k, k))
+        tri[np.arange(k), np.arange(k)] = alphas
+        if k > 1:
+            off = np.array(betas[: k - 1])
+            tri[np.arange(k - 1), np.arange(1, k)] = off
+            tri[np.arange(1, k), np.arange(k - 1)] = off
+        evals, evecs = np.linalg.eigh(tri)
+        ritz = evecs[:, 0]
+        x = np.zeros(n)
+        for coeff, q in zip(ritz, qs):
+            x += coeff * q
+        lam = float(evals[0])
+        x = _orthonormalize_against(x, deflate)
+        xnorm = np.linalg.norm(x)
+        if xnorm < 1e-30:
+            v = rng.standard_normal(n)
+            continue
+        x /= xnorm
+        residual = np.linalg.norm(matvec(x) - lam * x)
+        v = x
+        if residual <= tol * max(abs(lam), 1.0):
+            break
+    return lam, v

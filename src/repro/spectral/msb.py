@@ -1,0 +1,119 @@
+"""Multilevel spectral bisection (MSB) — the paper's main baseline.
+
+Barnard & Simon's algorithm ([2] in the paper): coarsen the graph with
+random matchings, compute the Fiedler vector of the coarsest graph exactly,
+then walk back up the hierarchy — at each level the coarse Fiedler vector
+is *interpolated* onto the finer graph (each fine vertex inherits its
+multinode's value) and *polished* by an iterative eigensolver warm-started
+from the interpolant.  The original used SYMMLQ for the polish; any
+convergent Krylov polish preserves the structure, and we reuse our deflated
+Lanczos (:mod:`repro.spectral.lanczos`) with a small Krylov space, which
+plays the same role: few iterations because the start vector is already
+close.
+
+``msb_bisect`` mirrors :func:`repro.core.multilevel.bisect`'s result shape
+so it can be plugged into recursive bisection (Figures 1, 2 and 4 compare
+k-way MSB against the k-way multilevel scheme).  The MSB-KL variant
+additionally runs full Kernighan–Lin refinement on the final flat
+bisection, as in Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coarsen import coarsen
+from repro.core.initial import split_at_weighted_median
+from repro.core.kway import partition as _kway_partition
+from repro.core.multilevel import MultilevelResult
+from repro.core.options import DEFAULT_OPTIONS, MatchingScheme, RefinePolicy
+from repro.core.refine import PassStats, refine_bisection
+from repro.spectral.fiedler import DENSE_THRESHOLD, fiedler_vector
+from repro.utils.errors import PartitionError
+from repro.utils.rng import as_generator
+from repro.utils.timing import PhaseTimer
+
+
+def msb_fiedler(graph, options=DEFAULT_OPTIONS, rng=None, timers=None) -> np.ndarray:
+    """Fiedler vector of ``graph`` via the multilevel (MSB) scheme."""
+    rng = as_generator(rng if rng is not None else options.seed)
+    if timers is None:
+        timers = PhaseTimer()
+    msb_options = options.with_(matching=MatchingScheme.RM)
+    with timers.phase("CTime"):
+        hierarchy = coarsen(graph, msb_options, rng)
+    with timers.phase("ITime"):
+        vec = fiedler_vector(hierarchy.coarsest, rng)
+    for level in range(hierarchy.nlevels - 2, -1, -1):
+        fine = hierarchy.graphs[level]
+        with timers.phase("PTime"):
+            vec = vec[hierarchy.cmaps[level]]  # interpolate
+        with timers.phase("RTime"):
+            if fine.nvtxs <= DENSE_THRESHOLD:
+                vec = fiedler_vector(fine, rng)
+            else:
+                vec = fiedler_vector(
+                    fine,
+                    rng,
+                    start=vec,
+                    force_lanczos=True,
+                    krylov_dim=25,
+                    restarts=4,
+                    tol=1e-6,
+                )
+    return vec
+
+
+def msb_bisect(
+    graph,
+    options=DEFAULT_OPTIONS,
+    rng=None,
+    target0=None,
+    *,
+    kl_refine=False,
+) -> MultilevelResult:
+    """Bisect via MSB; with ``kl_refine`` this is the MSB-KL baseline."""
+    if graph.nvtxs < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    rng = as_generator(rng if rng is not None else options.seed)
+    timers = PhaseTimer()
+    stats = PassStats()
+    total = graph.total_vwgt()
+    if target0 is None:
+        target0 = total // 2
+    vec = msb_fiedler(graph, options, rng, timers)
+    with timers.phase("ITime"):
+        bisection = split_at_weighted_median(graph, vec, target0)
+    initial_cut = bisection.cut
+    if kl_refine:
+        target1 = total - target0
+        maxpwgt = (
+            int(np.ceil(options.ubfactor * target0)),
+            int(np.ceil(options.ubfactor * target1)),
+        )
+        with timers.phase("RTime"):
+            refine_bisection(
+                graph,
+                bisection,
+                RefinePolicy.KLR,
+                options,
+                maxpwgt=maxpwgt,
+                stats=stats,
+            )
+    return MultilevelResult(
+        bisection=bisection,
+        timers=timers,
+        nlevels=1,
+        coarsest_nvtxs=graph.nvtxs,
+        initial_cut=initial_cut,
+        stats=stats,
+    )
+
+
+def msb_partition(graph, nparts, options=DEFAULT_OPTIONS, rng=None, *, kl_refine=False):
+    """k-way partition by recursive MSB (optionally MSB-KL) bisection."""
+
+    def bisector(g, opts, child_rng, target0):
+        return msb_bisect(g, opts, child_rng, target0, kl_refine=kl_refine)
+
+    return _kway_partition(graph, nparts, options, rng, bisector=bisector)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphValidationError(ReproError):
+    """A graph's CSR arrays are structurally inconsistent.
+
+    Raised by :func:`repro.graph.validate.validate_graph` and by constructors
+    that validate their inputs: non-symmetric adjacency, out-of-range vertex
+    ids, negative weights, self-loops, or malformed ``xadj``.
+    """
+
+
+class PartitionError(ReproError):
+    """A partitioning request cannot be satisfied.
+
+    Examples: ``k`` larger than the number of vertices, target part weights
+    that do not sum to the total vertex weight, or an unbalanceable graph
+    (a single vertex heavier than the allowed part weight).
+    """
+
+
+class OrderingError(ReproError):
+    """A fill-reducing ordering request cannot be satisfied."""

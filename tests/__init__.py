@@ -1,0 +1,6 @@
+"""Test package for repro.
+
+Present as a package so test modules can import shared helpers via
+``from tests.conftest import ...`` regardless of how pytest is invoked
+(``pytest`` or ``python -m pytest``).
+"""

@@ -1,0 +1,119 @@
+"""Tests for the benchmark drivers (small-scale smoke of every table and
+figure generator, plus harness plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Row,
+    bench_matrices,
+    bench_scale,
+    bench_seed,
+    cut_ratio_rows,
+    format_table,
+    ordering_rows,
+    pivot,
+    runtime_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+
+SMALL = ["LSHP3466"]
+SCALE = 0.12
+
+
+class TestHarness:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_MATRICES", raising=False)
+        assert bench_scale() == 1.0
+        assert bench_seed() == 1995
+        assert bench_matrices(["A"], ["A", "B"]) == ["A"]
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+        monkeypatch.setenv("REPRO_BENCH_MATRICES", "X, Y")
+        assert bench_scale() == 0.5
+        assert bench_seed() == 7
+        assert bench_matrices(["A"], ["A", "B"]) == ["X", "Y"]
+
+    def test_matrices_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MATRICES", "all")
+        assert bench_matrices(["A"], ["A", "B"]) == ["A", "B"]
+
+    def test_format_table(self):
+        rows = [Row("M1", "HEM", {"cut": 10, "t": 1.2345})]
+        text = format_table(rows, ["cut", "t"], title="T")
+        assert "T" in text and "HEM" in text and "1.234" in text
+
+    def test_pivot(self):
+        rows = [
+            Row("M1", "A", {"cut": 1}),
+            Row("M1", "B", {"cut": 2}),
+            Row("M2", "A", {"cut": 3}),
+        ]
+        p = pivot(rows, "cut")
+        assert p == {"M1": {"A": 1, "B": 2}, "M2": {"A": 3}}
+
+
+class TestTableDrivers:
+    def test_table2(self):
+        rows = table2_rows(SMALL, nparts=4, scale=SCALE, seed=3)
+        assert len(rows) == 4  # one per matching scheme
+        schemes = {r.scheme for r in rows}
+        assert schemes == {"RM", "HEM", "LEM", "HCM"}
+        for r in rows:
+            assert r.values["32EC"] > 0
+            assert r.values["CTime"] >= 0
+
+    def test_table3_norefine_worse_than_table2(self):
+        # Refinement also rebalances and changes the recursion's split
+        # points, so a per-scheme strict ordering does not hold on tiny
+        # graphs; the aggregate over schemes must still favour refinement.
+        t2 = table2_rows(SMALL, nparts=4, scale=SCALE, seed=3)
+        t3 = table3_rows(SMALL, nparts=4, scale=SCALE, seed=3)
+        total2 = sum(r.values["32EC"] for r in t2)
+        total3 = sum(r.values["32EC"] for r in t3)
+        assert total3 >= 0.9 * total2
+
+    def test_table4(self):
+        rows = table4_rows(SMALL, nparts=4, scale=SCALE, seed=3)
+        assert {r.scheme for r in rows} == {"GR", "KLR", "BGR", "BKLR", "BKLGR"}
+        for r in rows:
+            assert r.values["32EC"] > 0
+            assert r.values["RTime"] >= 0
+
+
+class TestFigureDrivers:
+    def test_cut_ratio_rows_msb(self):
+        rows = cut_ratio_rows(SMALL, "msb", nparts_list=(4,), scale=SCALE, seed=3)
+        assert len(rows) == 1
+        v = rows[0].values
+        assert v["ratio_4"] == pytest.approx(v["ml_cut_4"] / v["base_cut_4"])
+
+    @pytest.mark.parametrize("baseline", ["msb-kl", "chaco-ml"])
+    def test_other_baselines(self, baseline):
+        rows = cut_ratio_rows(SMALL, baseline, nparts_list=(4,), scale=SCALE, seed=3)
+        assert rows[0].values["base_cut_4"] > 0
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            cut_ratio_rows(SMALL, "magic", nparts_list=(4,), scale=SCALE)
+
+    def test_runtime_rows(self):
+        rows = runtime_rows(SMALL, nparts=4, scale=SCALE, seed=3)
+        v = rows[0].values
+        assert v["ml_seconds"] > 0
+        for key in ("chaco_ml_rel", "msb_rel", "msb_kl_rel"):
+            assert v[key] > 0
+
+    def test_ordering_rows(self):
+        rows = ordering_rows(SMALL, scale=SCALE, seed=3)
+        v = rows[0].values
+        assert v["mlnd_ops"] > 0
+        assert v["mmd_over_mlnd"] > 0
+        assert v["snd_over_mlnd"] > 0
+        assert v["mlnd_parallelism"] >= 1

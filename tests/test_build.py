@@ -1,0 +1,170 @@
+"""Tests for graph constructors (edge lists, dicts, scipy, networkx)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_adjacency,
+    from_edge_list,
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    validate_graph,
+)
+from repro.utils.errors import GraphValidationError
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)])
+        assert g.nvtxs == 3
+        assert g.nedges == 2
+        validate_graph(g)
+
+    def test_empty_edges(self):
+        g = from_edge_list(4, [])
+        assert g.nvtxs == 4
+        assert g.nedges == 0
+
+    def test_duplicate_edges_merge_weights(self):
+        g = from_edge_list(2, [(0, 1), (0, 1)], [3, 4])
+        assert g.nedges == 1
+        assert g.edge_weight(0, 1) == 7
+
+    def test_reversed_duplicates_merge(self):
+        g = from_edge_list(2, [(0, 1), (1, 0)])
+        assert g.nedges == 1
+        assert g.edge_weight(0, 1) == 2
+
+    def test_self_loops_dropped(self):
+        g = from_edge_list(3, [(0, 0), (0, 1)])
+        assert g.nedges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_numpy_input(self):
+        edges = np.array([[0, 1], [1, 2]])
+        g = from_edge_list(3, edges)
+        assert g.nedges == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list(2, [(0, 2)])
+        with pytest.raises(GraphValidationError):
+            from_edge_list(2, [(-1, 0)])
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list(3, [(0, 1), (1, 2)], [1])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list(3, np.zeros((2, 3)))
+
+    def test_vertex_weights_pass_through(self):
+        g = from_edge_list(2, [(0, 1)], vwgt=[7, 9])
+        assert g.vwgt.tolist() == [7, 9]
+
+    def test_isolated_vertices(self):
+        g = from_edge_list(5, [(0, 1)])
+        assert g.nvtxs == 5
+        assert g.degree(4) == 0
+
+
+class TestFromAdjacency:
+    def test_dict_of_dicts(self):
+        g = from_adjacency({0: {1: 5}, 1: {0: 5, 2: 2}, 2: {1: 2}})
+        assert g.nedges == 2
+        assert g.edge_weight(0, 1) == 5
+        assert g.edge_weight(1, 2) == 2
+
+    def test_dict_of_lists(self):
+        g = from_adjacency({0: [1, 2], 1: [0], 2: [0]})
+        assert g.nedges == 2
+        assert np.all(g.adjwgt == 1)
+
+    def test_one_sided_mention_kept(self):
+        g = from_adjacency({0: {1: 4}, 1: {}})
+        assert g.edge_weight(0, 1) == 4
+
+    def test_empty(self):
+        g = from_adjacency({})
+        assert g.nvtxs == 0
+
+    def test_missing_keys_become_isolated(self):
+        g = from_adjacency({3: [0]})
+        assert g.nvtxs == 4
+        assert g.degree(1) == 0
+
+    def test_self_loop_dropped(self):
+        g = from_adjacency({0: [0, 1], 1: [0]})
+        assert g.nedges == 1
+
+
+class TestScipy:
+    def test_pattern_of_symmetric_matrix(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.csr_matrix(
+            np.array([[2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]])
+        )
+        g = from_scipy_sparse(m)
+        assert g.nvtxs == 3
+        assert g.nedges == 2
+        assert np.all(g.adjwgt == 1)  # pattern only
+        validate_graph(g)
+
+    def test_diagonal_dropped(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.eye(4).tocsr()
+        g = from_scipy_sparse(m)
+        assert g.nedges == 0
+
+    def test_triangular_storage_symmetrised(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.csr_matrix((np.ones(2), ([0, 1], [1, 2])), shape=(3, 3))
+        g = from_scipy_sparse(m)
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 1)
+
+    def test_use_values(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.csr_matrix((np.array([2.4, 2.4]), ([0, 1], [1, 0])), shape=(2, 2))
+        g = from_scipy_sparse(m, use_values=True)
+        assert g.edge_weight(0, 1) >= 1
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        nx = pytest.importorskip("networkx")
+        g0 = nx.Graph()
+        g0.add_edge("a", "b", weight=3)
+        g0.add_edge("b", "c")
+        g = from_networkx(g0)
+        assert g.nvtxs == 3
+        assert g.nedges == 2
+        # sorted labels: a->0, b->1, c->2
+        assert g.edge_weight(0, 1) == 3
+        assert g.edge_weight(1, 2) == 1
+
+    def test_to_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = from_edge_list(3, [(0, 1), (1, 2)], [4, 5])
+        back = to_networkx(g)
+        assert back.number_of_nodes() == 3
+        assert back[0][1]["weight"] == 4
+
+    def test_self_loops_skipped(self):
+        nx = pytest.importorskip("networkx")
+        g0 = nx.Graph()
+        g0.add_edge(0, 0)
+        g0.add_edge(0, 1)
+        g = from_networkx(g0)
+        assert g.nedges == 1
+
+    def test_vertex_weight_attribute(self):
+        nx = pytest.importorskip("networkx")
+        g0 = nx.Graph()
+        g0.add_node(0, size=5)
+        g0.add_node(1)
+        g0.add_edge(0, 1)
+        g = from_networkx(g0, vwgt_attr="size")
+        assert g.vwgt.tolist() == [5, 1]

@@ -1,0 +1,99 @@
+"""Tests for connected components and subgraph extraction."""
+
+import numpy as np
+
+from repro.graph import (
+    connected_components,
+    extract_subgraph,
+    from_edge_list,
+    is_connected,
+    largest_component,
+    num_components,
+)
+from tests.conftest import path_graph, two_triangles
+
+
+class TestComponents:
+    def test_connected_path(self):
+        g = path_graph(6)
+        assert num_components(g) == 1
+        assert is_connected(g)
+        assert np.all(connected_components(g) == 0)
+
+    def test_two_triangles(self):
+        g = two_triangles()
+        comp = connected_components(g)
+        assert num_components(g) == 2
+        assert comp[0] == comp[1] == comp[2] == 0
+        assert comp[3] == comp[4] == comp[5] == 1
+
+    def test_isolated_vertices(self):
+        g = from_edge_list(4, [(0, 1)])
+        assert num_components(g) == 3
+
+    def test_empty_graph(self):
+        g = from_edge_list(0, [])
+        assert num_components(g) == 0
+        assert is_connected(g)  # vacuously
+
+    def test_component_ids_in_discovery_order(self):
+        g = from_edge_list(4, [(2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == 0 and comp[1] == 1 and comp[2] == comp[3] == 2
+
+    def test_deep_path_no_recursion_error(self):
+        g = path_graph(20000)
+        assert is_connected(g)
+
+
+class TestExtractSubgraph:
+    def test_induced_edges_only(self):
+        g = path_graph(5)
+        sub, vmap = extract_subgraph(g, np.array([0, 1, 3]))
+        assert sub.nvtxs == 3
+        assert sub.nedges == 1  # only (0,1); 3 is isolated in the subgraph
+        assert vmap.tolist() == [0, 1, 3]
+
+    def test_weights_inherited(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], [7, 8], vwgt=[1, 2, 3])
+        sub, _ = extract_subgraph(g, np.array([1, 2]))
+        assert sub.vwgt.tolist() == [2, 3]
+        assert sub.edge_weight(0, 1) == 8
+
+    def test_order_of_vertices_defines_renumbering(self):
+        g = path_graph(3)
+        sub, vmap = extract_subgraph(g, np.array([2, 1]))
+        assert vmap.tolist() == [2, 1]
+        assert sub.has_edge(0, 1)  # old (1,2) renumbered
+
+    def test_coords_sliced(self):
+        g = path_graph(3)
+        g.coords = np.array([[0.0, 0], [1, 0], [2, 0]])
+        sub, _ = extract_subgraph(g, np.array([2, 0]))
+        assert np.array_equal(sub.coords, np.array([[2.0, 0], [0, 0]]))
+
+    def test_empty_selection(self):
+        g = path_graph(3)
+        sub, vmap = extract_subgraph(g, np.array([], dtype=np.int64))
+        assert sub.nvtxs == 0
+        assert len(vmap) == 0
+
+    def test_full_selection_is_identity(self):
+        g = path_graph(4)
+        sub, _ = extract_subgraph(g, np.arange(4))
+        assert sub.sorted_adjacency() == g.sorted_adjacency()
+
+
+class TestLargestComponent:
+    def test_picks_largest(self):
+        # Triangle + single edge.
+        g = from_edge_list(5, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        sub, vmap = largest_component(g)
+        assert sub.nvtxs == 3
+        assert sorted(vmap.tolist()) == [0, 1, 2]
+
+    def test_already_connected(self):
+        g = path_graph(4)
+        sub, vmap = largest_component(g)
+        assert sub.nvtxs == 4
+        assert sub.sorted_adjacency() == g.sorted_adjacency()

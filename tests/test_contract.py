@@ -1,0 +1,139 @@
+"""Tests for the graph contraction kernel and its paper invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import hem_matching, rm_matching
+from repro.graph import (
+    coarse_map_from_matching,
+    contract,
+    from_edge_list,
+    matching_weight,
+    validate_graph,
+)
+from repro.graph.contract import collapsed_edge_weight
+from tests.conftest import complete_graph, path_graph, random_graph
+
+
+class TestCoarseMap:
+    def test_identity_matching(self):
+        match = np.arange(4)
+        cmap, ncoarse = coarse_map_from_matching(match)
+        assert ncoarse == 4
+        assert cmap.tolist() == [0, 1, 2, 3]
+
+    def test_one_pair(self):
+        match = np.array([1, 0, 2, 3])
+        cmap, ncoarse = coarse_map_from_matching(match)
+        assert ncoarse == 3
+        assert cmap[0] == cmap[1]
+        assert cmap[2] != cmap[0] and cmap[3] != cmap[2]
+
+    def test_dense_numbering(self):
+        match = np.array([3, 2, 1, 0])
+        cmap, ncoarse = coarse_map_from_matching(match)
+        assert ncoarse == 2
+        assert set(cmap.tolist()) == {0, 1}
+
+
+class TestContract:
+    def test_collapse_path_pair(self):
+        g = path_graph(3)  # 0-1-2
+        cmap = np.array([0, 0, 1])  # merge 0,1
+        coarse = contract(g, cmap, 2)
+        assert coarse.nvtxs == 2
+        assert coarse.nedges == 1
+        assert coarse.vwgt.tolist() == [2, 1]
+        assert coarse.edge_weight(0, 1) == 1
+        validate_graph(coarse)
+
+    def test_parallel_edges_merge(self):
+        # Square 0-1-2-3-0; merging (0,1) and (2,3) creates two parallel
+        # edges between the multinodes, which must merge to weight 2.
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        cmap = np.array([0, 0, 1, 1])
+        coarse = contract(g, cmap, 2)
+        assert coarse.nvtxs == 2
+        assert coarse.nedges == 1
+        assert coarse.edge_weight(0, 1) == 2
+
+    def test_vertex_weight_conserved(self):
+        g = random_graph(40, 0.2, seed=1)
+        match = rm_matching(g, np.random.default_rng(0))
+        cmap, nc = coarse_map_from_matching(match)
+        coarse = contract(g, cmap, nc)
+        assert coarse.total_vwgt() == g.total_vwgt()
+
+    def test_edge_weight_identity(self):
+        """W(E_{i+1}) = W(E_i) − W(M_i), the §3.1 identity."""
+        g = random_graph(40, 0.2, seed=2)
+        match = hem_matching(g, np.random.default_rng(0))
+        cmap, nc = coarse_map_from_matching(match)
+        coarse = contract(g, cmap, nc)
+        assert coarse.total_adjwgt() == g.total_adjwgt() - matching_weight(g, match)
+
+    def test_contract_to_single_vertex(self):
+        g = complete_graph(4)
+        coarse = contract(g, np.zeros(4, dtype=np.int64), 1)
+        assert coarse.nvtxs == 1
+        assert coarse.nedges == 0
+        assert coarse.vwgt.tolist() == [4]
+
+    def test_groups_larger_than_pairs(self):
+        g = path_graph(6)
+        cmap = np.array([0, 0, 0, 1, 1, 1])
+        coarse = contract(g, cmap, 2)
+        assert coarse.nvtxs == 2
+        assert coarse.edge_weight(0, 1) == 1
+
+    def test_edgeless_result(self):
+        g = from_edge_list(2, [(0, 1)])
+        coarse = contract(g, np.array([0, 0]), 1)
+        assert coarse.nedges == 0
+
+    def test_coords_become_weighted_centroids(self):
+        g = path_graph(2)
+        g.coords = np.array([[0.0, 0.0], [2.0, 0.0]])
+        coarse = contract(g, np.array([0, 0]), 1)
+        assert np.allclose(coarse.coords, [[1.0, 0.0]])
+
+    def test_partition_cut_preserved_by_projection(self):
+        """§3.1: a coarse partition's cut equals the projected fine cut."""
+        from repro.graph import edge_cut
+
+        g = random_graph(30, 0.25, seed=3)
+        match = rm_matching(g, np.random.default_rng(1))
+        cmap, nc = coarse_map_from_matching(match)
+        coarse = contract(g, cmap, nc)
+        rng = np.random.default_rng(2)
+        coarse_where = rng.integers(0, 2, nc)
+        fine_where = coarse_where[cmap]
+        assert edge_cut(coarse, coarse_where) == edge_cut(g, fine_where)
+
+
+class TestCollapsedEdgeWeight:
+    def test_pair_merge_counts_inner_edge(self):
+        g = path_graph(3)
+        cmap = np.array([0, 0, 1])
+        cew = collapsed_edge_weight(g, cmap, 2)
+        assert cew.tolist() == [1, 0]
+
+    def test_accumulates_across_levels(self):
+        g = complete_graph(4)  # 6 edges
+        cew1 = collapsed_edge_weight(g, np.array([0, 0, 1, 1]), 2)
+        assert cew1.tolist() == [1, 1]
+        coarse = contract(g, np.array([0, 0, 1, 1]), 2)
+        cew2 = collapsed_edge_weight(coarse, np.array([0, 0]), 1, cew1)
+        # All 6 original edges end up inside the single multinode.
+        assert cew2.tolist() == [6]
+
+
+class TestMatchingWeight:
+    def test_weighted_pairs(self):
+        g = from_edge_list(4, [(0, 1), (2, 3), (1, 2)], [5, 7, 1])
+        match = np.array([1, 0, 3, 2])
+        assert matching_weight(g, match) == 12
+
+    def test_empty_matching(self):
+        g = path_graph(4)
+        assert matching_weight(g, np.arange(4)) == 0

@@ -1,0 +1,173 @@
+"""Tests for the CSR graph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list
+from repro.utils.errors import GraphValidationError
+from tests.conftest import complete_graph, path_graph, weighted_path
+
+
+class TestBasicProperties:
+    def test_empty_graph(self):
+        g = from_edge_list(0, [])
+        assert g.nvtxs == 0
+        assert g.nedges == 0
+        assert g.total_vwgt() == 0
+        assert g.total_adjwgt() == 0
+
+    def test_single_vertex(self):
+        g = from_edge_list(1, [])
+        assert g.nvtxs == 1
+        assert g.nedges == 0
+        assert g.degree(0) == 0
+
+    def test_path_counts(self):
+        g = path_graph(5)
+        assert g.nvtxs == 5
+        assert g.nedges == 4
+        assert g.total_adjwgt() == 4
+
+    def test_degrees(self):
+        g = path_graph(4)
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.degree(3) == 1
+        assert g.degrees().tolist() == [1, 2, 2, 1]
+
+    def test_neighbors(self):
+        g = path_graph(3)
+        assert set(g.neighbors(1).tolist()) == {0, 2}
+        assert g.neighbors(0).tolist() == [1]
+
+    def test_neighbor_weights_parallel_to_neighbors(self):
+        g = weighted_path([3, 7])
+        nbrs = g.neighbors(1).tolist()
+        wgts = g.neighbor_weights(1).tolist()
+        pairs = dict(zip(nbrs, wgts))
+        assert pairs == {0: 3, 2: 7}
+
+    def test_average_degree(self):
+        g = complete_graph(5)
+        assert g.average_degree() == pytest.approx(4.0)
+        assert from_edge_list(0, []).average_degree() == 0.0
+
+    def test_unit_weights_by_default(self):
+        g = path_graph(4)
+        assert np.all(g.vwgt == 1)
+        assert np.all(g.adjwgt == 1)
+
+    def test_total_weights_with_explicit_vwgt(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[5, 2, 3])
+        assert g.total_vwgt() == 10
+
+
+class TestEdgeQueries:
+    def test_has_edge(self):
+        g = path_graph(4)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 3)
+
+    def test_edge_weight(self):
+        g = weighted_path([3, 7, 2])
+        assert g.edge_weight(0, 1) == 3
+        assert g.edge_weight(1, 0) == 3
+        assert g.edge_weight(2, 3) == 2
+        assert g.edge_weight(0, 3) == 0
+
+    def test_edges_iteration_each_once(self):
+        g = complete_graph(4)
+        edges = list(g.edges())
+        assert len(edges) == 6
+        assert all(u < v for u, v, _ in edges)
+
+    def test_edge_array_matches_edges(self):
+        g = weighted_path([3, 7, 2])
+        arr = g.edge_array()
+        listed = sorted((u, v, w) for u, v, w in g.edges())
+        from_arr = sorted(map(tuple, arr.tolist()))
+        assert listed == from_arr
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self):
+        g = path_graph(4)
+        h = g.copy()
+        h.adjwgt[0] = 99
+        assert g.adjwgt[0] == 1
+
+    def test_equality(self):
+        assert path_graph(4) == path_graph(4)
+        assert path_graph(4) != path_graph(5)
+
+    def test_equality_ignores_coords(self):
+        g, h = path_graph(3), path_graph(3)
+        g.coords = np.zeros((3, 2))
+        assert g == h
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(path_graph(3))
+
+    def test_copy_preserves_coords(self):
+        g = path_graph(3)
+        g.coords = np.arange(6, dtype=float).reshape(3, 2)
+        h = g.copy()
+        assert np.array_equal(h.coords, g.coords)
+        h.coords[0, 0] = 42.0
+        assert g.coords[0, 0] == 0.0
+
+
+class TestCoords:
+    def test_coords_default_none(self):
+        assert path_graph(3).coords is None
+
+    def test_coords_shape_enforced(self):
+        g = path_graph(3)
+        with pytest.raises(GraphValidationError):
+            g.coords = np.zeros((2, 2))
+        with pytest.raises(GraphValidationError):
+            g.coords = np.zeros(3)
+
+    def test_coords_settable_and_clearable(self):
+        g = path_graph(3)
+        g.coords = np.zeros((3, 2))
+        assert g.coords.shape == (3, 2)
+        g.coords = None
+        assert g.coords is None
+
+
+class TestSortedAdjacency:
+    def test_sorted_adjacency_sorts(self):
+        g = from_edge_list(4, [(0, 3), (0, 1), (0, 2)])
+        s = g.sorted_adjacency()
+        assert s.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_sorted_adjacency_keeps_weight_pairing(self):
+        g = from_edge_list(3, [(0, 2), (0, 1)], [5, 9])
+        s = g.sorted_adjacency()
+        assert s.edge_weight(0, 1) == 9
+        assert s.edge_weight(0, 2) == 5
+
+    def test_sorted_adjacency_equal_graph(self):
+        g = from_edge_list(4, [(0, 3), (0, 1), (2, 1)])
+        assert g.sorted_adjacency() == g.sorted_adjacency()
+
+
+class TestDirectConstruction:
+    def test_explicit_arrays(self):
+        g = CSRGraph(
+            xadj=[0, 1, 2],
+            adjncy=[1, 0],
+            adjwgt=[4, 4],
+            vwgt=[2, 3],
+        )
+        assert g.nvtxs == 2
+        assert g.edge_weight(0, 1) == 4
+        assert g.total_vwgt() == 5
+
+    def test_repr_mentions_sizes(self):
+        text = repr(path_graph(4))
+        assert "nvtxs=4" in text and "nedges=3" in text

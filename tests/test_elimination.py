@@ -1,0 +1,151 @@
+"""Tests for symbolic factorization (elimination tree, fill, opcounts)."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import Ordering, elimination_tree, factor_stats, symbolic_factor
+from repro.utils.errors import OrderingError
+from tests.conftest import (
+    brute_force_fill,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+
+class TestEliminationTree:
+    def test_path_natural_order_is_chain(self):
+        g = path_graph(5)
+        parent = elimination_tree(g, np.arange(5))
+        assert parent.tolist() == [1, 2, 3, 4, -1]
+
+    def test_star_center_last(self):
+        g = star_graph(5)  # center 0
+        perm = np.array([1, 2, 3, 4, 0])  # leaves first
+        parent = elimination_tree(g, perm)
+        assert parent.tolist() == [4, 4, 4, 4, -1]
+
+    def test_roots_per_component(self):
+        from tests.conftest import two_triangles
+
+        g = two_triangles()
+        parent = elimination_tree(g, np.arange(6))
+        assert (parent == -1).sum() == 2
+
+    def test_invalid_perm_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(OrderingError):
+            elimination_tree(g, np.array([0, 0, 2]))
+
+
+class TestSymbolicFactor:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_counts_match_brute_force(self, seed):
+        g = random_graph(25, 0.2, seed=seed)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.nvtxs)
+        counts, _ = symbolic_factor(g, perm)
+        brute_counts, _ = brute_force_fill(g, perm)
+        assert np.array_equal(counts, brute_counts)
+
+    def test_path_has_no_fill(self):
+        g = path_graph(8)
+        counts, _ = symbolic_factor(g, np.arange(8))
+        assert counts.sum() == g.nedges  # factor = matrix, zero fill
+
+    def test_star_center_last_no_fill(self):
+        g = star_graph(6)
+        perm = np.array([1, 2, 3, 4, 5, 0])
+        counts, _ = symbolic_factor(g, perm)
+        assert counts.sum() == g.nedges
+
+    def test_star_center_first_fills_clique(self):
+        g = star_graph(6)
+        perm = np.array([0, 1, 2, 3, 4, 5])
+        counts, _ = symbolic_factor(g, perm)
+        # Eliminating the centre first connects all 5 leaves pairwise.
+        assert counts.sum() == g.nedges + 10
+
+    def test_parents_agree_with_elimination_tree(self):
+        g = random_graph(30, 0.15, seed=7)
+        perm = np.random.default_rng(1).permutation(g.nvtxs)
+        _, parent_sym = symbolic_factor(g, perm)
+        parent_liu = elimination_tree(g, perm)
+        assert np.array_equal(parent_sym, parent_liu)
+
+
+class TestFactorStats:
+    def test_complete_graph_is_order_invariant(self):
+        g = complete_graph(6)
+        a = factor_stats(g, np.arange(6))
+        b = factor_stats(g, np.random.default_rng(0).permutation(6))
+        assert a.opcount == b.opcount
+        assert a.fill == b.fill == 0
+
+    def test_fill_nonnegative_and_consistent(self):
+        g = random_graph(40, 0.1, seed=8)
+        perm = np.random.default_rng(2).permutation(g.nvtxs)
+        stats = factor_stats(g, perm)
+        assert stats.fill >= 0
+        assert stats.nnz_factor == stats.fill + g.nedges + g.nvtxs
+
+    def test_path_stats_exact(self):
+        g = path_graph(6)
+        stats = factor_stats(g, np.arange(6))
+        assert stats.fill == 0
+        # Column counts 1,1,1,1,1,0 → ops = 5·4 + 1 = 21.
+        assert stats.opcount == 5 * 4 + 1
+        assert stats.tree_height == 6  # a chain
+        assert stats.critical_path_ops == stats.opcount  # fully serial
+        assert stats.available_parallelism == pytest.approx(1.0)
+
+    def test_balanced_tree_has_parallelism(self):
+        # A star eliminated leaves-first gives a flat tree: height 2.
+        g = star_graph(9)
+        perm = np.array([1, 2, 3, 4, 5, 6, 7, 8, 0])
+        stats = factor_stats(g, perm)
+        assert stats.tree_height == 2
+        assert stats.available_parallelism > 2
+
+    def test_cycle_natural(self):
+        g = cycle_graph(6)
+        stats = factor_stats(g, np.arange(6))
+        # Eliminating around the cycle creates one fill edge per step
+        # except at the ends: counts are 2,2,2,2,1,0.
+        assert stats.fill == 3
+
+    def test_better_ordering_fewer_ops(self):
+        """Nested-dissection-style ordering of a grid must beat natural."""
+        from repro.matrices import grid2d
+        from repro.ordering import mlnd_ordering
+
+        g = grid2d(12, 12)
+        natural = factor_stats(g, np.arange(g.nvtxs))
+        nd = mlnd_ordering(g, rng=np.random.default_rng(0))
+        dissected = factor_stats(g, nd.perm)
+        assert dissected.opcount < natural.opcount
+
+
+class TestOrderingRecord:
+    def test_from_perm_inverse(self):
+        o = Ordering.from_perm([2, 0, 1], "x")
+        assert o.iperm.tolist() == [1, 2, 0]
+        o.verify()
+
+    def test_identity(self):
+        o = Ordering.identity(4)
+        assert o.perm.tolist() == [0, 1, 2, 3]
+        o.verify()
+        assert len(o) == 4
+
+    def test_invalid_perm_rejected(self):
+        with pytest.raises(OrderingError):
+            Ordering.from_perm([0, 0, 1])
+
+    def test_verify_detects_tampering(self):
+        o = Ordering.identity(3)
+        o.iperm = np.array([0, 2, 2])
+        with pytest.raises(OrderingError):
+            o.verify()

@@ -1,0 +1,123 @@
+"""Tests for the initial-partitioning algorithms (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial import (
+    ggp_bisection,
+    gggp_bisection,
+    initial_bisection,
+    sbp_bisection,
+    split_at_weighted_median,
+)
+from repro.core.options import DEFAULT_OPTIONS, InitialScheme
+from repro.graph import from_edge_list
+from repro.utils.errors import PartitionError
+from tests.conftest import (
+    assert_valid_bisection,
+    dumbbell_graph,
+    path_graph,
+    random_graph,
+    two_triangles,
+)
+
+PARTITIONERS = {
+    "ggp": lambda g, t, rng: ggp_bisection(g, t, rng, trials=10),
+    "gggp": lambda g, t, rng: gggp_bisection(g, t, rng, trials=5),
+    "sbp": lambda g, t, rng: sbp_bisection(g, t, rng),
+}
+
+
+@pytest.mark.parametrize("name", PARTITIONERS, ids=PARTITIONERS.keys())
+class TestAllPartitioners:
+    def test_valid_on_random_graph(self, name):
+        g = random_graph(50, 0.15, seed=1, connected=True)
+        b = PARTITIONERS[name](g, None, np.random.default_rng(0))
+        assert_valid_bisection(g, b)
+        assert 0 < b.pwgts[0] < g.total_vwgt()
+
+    def test_target_respected_within_max_vertex(self, name):
+        g = random_graph(50, 0.15, seed=2, connected=True)
+        target = g.total_vwgt() // 3
+        b = PARTITIONERS[name](g, target, np.random.default_rng(0))
+        # Growth stops as soon as the target is reached, so the overshoot
+        # is bounded by the largest vertex weight (1 here).
+        assert target <= b.pwgts[0] <= target + 1
+
+    def test_dumbbell_bridge_found(self, name):
+        g = dumbbell_graph(k=5)
+        b = PARTITIONERS[name](g, None, np.random.default_rng(0))
+        assert b.cut == 1
+
+    def test_disconnected_graph_handled(self, name):
+        g = two_triangles()
+        b = PARTITIONERS[name](g, None, np.random.default_rng(0))
+        assert_valid_bisection(g, b)
+        assert b.cut == 0  # component split is free
+        assert b.pwgts.tolist() == [3, 3]
+
+    def test_too_small_graph_rejected(self, name):
+        g = from_edge_list(1, [])
+        with pytest.raises(PartitionError):
+            PARTITIONERS[name](g, None, np.random.default_rng(0))
+
+
+class TestGrowthSpecifics:
+    def test_gggp_not_worse_than_ggp_on_average(self):
+        cuts_ggp, cuts_gggp = [], []
+        for seed in range(6):
+            g = random_graph(60, 0.12, seed=seed, connected=True)
+            cuts_ggp.append(
+                ggp_bisection(g, None, np.random.default_rng(seed), trials=10).cut
+            )
+            cuts_gggp.append(
+                gggp_bisection(g, None, np.random.default_rng(seed), trials=5).cut
+            )
+        assert np.mean(cuts_gggp) <= np.mean(cuts_ggp) * 1.05
+
+    def test_more_trials_no_worse(self):
+        g = random_graph(60, 0.12, seed=11, connected=True)
+        one = ggp_bisection(g, None, np.random.default_rng(3), trials=1).cut
+        many = ggp_bisection(g, None, np.random.default_rng(3), trials=15).cut
+        assert many <= one
+
+    def test_weighted_vertices(self):
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)], vwgt=[10, 1, 1, 10])
+        b = gggp_bisection(g, 11, np.random.default_rng(0))
+        assert b.pwgts[0] in (11, 12)
+
+
+class TestSplitAtWeightedMedian:
+    def test_basic_split(self):
+        g = path_graph(4)
+        b = split_at_weighted_median(g, np.array([0.4, 0.1, 0.9, 0.2]), 2)
+        # Two smallest values (indices 1, 3) go to part 0.
+        assert b.where.tolist() == [1, 0, 1, 0]
+
+    def test_ties_broken_by_vertex_id(self):
+        g = path_graph(4)
+        b = split_at_weighted_median(g, np.zeros(4), 2)
+        assert b.where.tolist() == [0, 0, 1, 1]
+
+    def test_never_produces_empty_side(self):
+        g = path_graph(3)
+        b_lo = split_at_weighted_median(g, np.array([1.0, 2.0, 3.0]), 0)
+        b_hi = split_at_weighted_median(g, np.array([1.0, 2.0, 3.0]), 3)
+        assert 0 < b_lo.pwgts[0] < 3
+        assert 0 < b_hi.pwgts[0] < 3
+
+    def test_respects_vertex_weights(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[5, 1, 1])
+        b = split_at_weighted_median(g, np.array([3.0, 1.0, 2.0]), 2)
+        # Cumulative by value order (1,2,0): vertex 1 (w=1), vertex 2
+        # (w=1) reach the target of 2.
+        assert b.where.tolist() == [1, 0, 0]
+
+
+class TestDispatch:
+    def test_dispatch_all_schemes(self):
+        g = random_graph(40, 0.2, seed=3, connected=True)
+        for scheme in InitialScheme:
+            options = DEFAULT_OPTIONS.with_(initial=scheme)
+            b = initial_bisection(g, options, np.random.default_rng(0))
+            assert_valid_bisection(g, b)

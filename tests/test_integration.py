@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test walks one realistic scenario through several subsystems at once
+(generate → partition → metrics → ordering → factorization analysis), the
+way the examples and benches do, catching interface drift that unit tests
+cannot.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import partition_refined
+from repro.core.options import DEFAULT_OPTIONS
+from repro.graph import (
+    edge_cut,
+    partition_report,
+    permute_graph,
+    read_graph,
+    write_graph,
+)
+from repro.matrices import suite
+from repro.ordering import factor_stats, mlnd_ordering, mmd_ordering
+
+
+WORKLOADS = ["LSHP3466", "BCSPWR10", "4ELT", "MEMPLUS", "FINAN512", "BCSSTK28"]
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_partition_pipeline_per_workload_class(name):
+    """Every workload class must survive the full partition pipeline."""
+    graph = suite.load(name, scale=0.15, seed=0)
+    part = repro.partition(graph, 8, seed=11)
+    assert part.cut == edge_cut(graph, part.where)
+    assert np.bincount(part.where, minlength=8).min() > 0
+    report = partition_report(graph, part.where)
+    assert report.communication_volume >= 0
+    assert report.max_connectivity <= 7
+
+
+@pytest.mark.parametrize("name", ["LSHP3466", "BCSPWR10", "BCSSTK28"])
+def test_ordering_pipeline_per_workload_class(name):
+    graph = suite.load(name, scale=0.12, seed=0)
+    nd = repro.nested_dissection(graph, seed=3)
+    nd.verify()
+    md = mmd_ordering(graph)
+    s_nd = factor_stats(graph, nd.perm)
+    s_md = factor_stats(graph, md.perm)
+    natural = factor_stats(graph, np.arange(graph.nvtxs))
+    # Both orderings must beat the natural ordering clearly.
+    assert s_nd.opcount < natural.opcount
+    assert s_md.opcount < natural.opcount
+
+
+def test_file_roundtrip_through_partitioner(tmp_path):
+    """generate → write → read → partition → same result as in-memory."""
+    graph = suite.load("4ELT", scale=0.15, seed=0)
+    path = tmp_path / "g.graph"
+    write_graph(graph, path)
+    back = read_graph(path)
+    p1 = repro.partition(graph, 4, seed=5)
+    p2 = repro.partition(back, 4, seed=5)
+    assert p1.cut == p2.cut
+    assert np.array_equal(p1.where, p2.where)
+
+
+def test_ordering_consumed_by_permutation(tmp_path):
+    """An MLND ordering applied via permute_graph yields a graph whose
+    *natural* factorization equals the ordered factorization."""
+    graph = suite.load("LSHP3466", scale=0.1, seed=0)
+    nd = mlnd_ordering(graph, DEFAULT_OPTIONS, np.random.default_rng(0))
+    reordered = permute_graph(graph, nd.perm)
+    assert (
+        factor_stats(graph, nd.perm).opcount
+        == factor_stats(reordered, np.arange(graph.nvtxs)).opcount
+    )
+
+
+def test_kway_refined_pipeline(grid16):
+    refined = partition_refined(grid16, 6, DEFAULT_OPTIONS, np.random.default_rng(2))
+    plain = repro.partition(grid16, 6, seed=2)
+    assert refined.cut <= plain.cut
+    report = partition_report(grid16, refined.where)
+    assert report.balance <= DEFAULT_OPTIONS.ubfactor + 0.1
+
+
+def test_weighted_graph_through_everything():
+    """Vertex and edge weights must flow through coarsening, partitioning
+    and refinement without being silently dropped."""
+    from repro.graph import from_edge_list
+
+    rng = np.random.default_rng(4)
+    n = 150
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges += [(int(rng.integers(n)), int(rng.integers(n))) for _ in range(120)]
+    edges = [(u, v) for u, v in edges if u != v]
+    g = from_edge_list(
+        n,
+        edges,
+        rng.integers(1, 9, len(edges)),
+        vwgt=rng.integers(1, 5, n),
+    )
+    result = repro.bisect(g, seed=6)
+    total = g.total_vwgt()
+    cap = np.ceil(DEFAULT_OPTIONS.ubfactor * total / 2) + g.vwgt.max()
+    assert result.bisection.pwgts.max() <= cap
+    result.bisection.verify(g)
+
+
+def test_seeded_runs_are_fully_reproducible():
+    graph = suite.load("BCSPWR10", scale=0.15, seed=0)
+    a = repro.partition(graph, 8, seed=99)
+    b = repro.partition(graph, 8, seed=99)
+    assert np.array_equal(a.where, b.where)
+    oa = repro.nested_dissection(graph, seed=99)
+    ob = repro.nested_dissection(graph, seed=99)
+    assert np.array_equal(oa.perm, ob.perm)
+
+
+def test_all_refinement_policies_complete_on_irregular_graph():
+    graph = suite.load("MEMPLUS", scale=0.1, seed=0)
+    cuts = {}
+    for policy in ("gr", "klr", "bgr", "bklr", "bklgr"):
+        p = repro.partition(graph, 4, seed=3, refinement=policy)
+        cuts[policy] = p.cut
+    best = min(cuts.values())
+    assert max(cuts.values()) <= 2.0 * best  # same ballpark, none broken

@@ -1,0 +1,152 @@
+"""Tests for graph file I/O (Chaco/METIS .graph format, MatrixMarket)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, read_graph, read_matrix_market, write_graph
+from repro.utils.errors import GraphValidationError
+from tests.conftest import complete_graph, path_graph
+
+
+def roundtrip(g, tmp_path):
+    path = tmp_path / "g.graph"
+    write_graph(g, path)
+    return read_graph(path)
+
+
+class TestRoundtrip:
+    def test_unweighted(self, tmp_path):
+        g = path_graph(6)
+        assert roundtrip(g, tmp_path).sorted_adjacency() == g.sorted_adjacency()
+
+    def test_edge_weighted(self, tmp_path):
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)], [5, 1, 9])
+        assert roundtrip(g, tmp_path).sorted_adjacency() == g.sorted_adjacency()
+
+    def test_vertex_weighted(self, tmp_path):
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[4, 5, 6])
+        assert roundtrip(g, tmp_path).sorted_adjacency() == g.sorted_adjacency()
+
+    def test_both_weighted(self, tmp_path):
+        g = from_edge_list(3, [(0, 1), (1, 2)], [2, 3], vwgt=[4, 5, 6])
+        assert roundtrip(g, tmp_path).sorted_adjacency() == g.sorted_adjacency()
+
+    def test_isolated_vertices(self, tmp_path):
+        g = from_edge_list(5, [(0, 1)])
+        back = roundtrip(g, tmp_path)
+        assert back.nvtxs == 5
+        assert back.nedges == 1
+
+    def test_complete_graph(self, tmp_path):
+        g = complete_graph(7)
+        assert roundtrip(g, tmp_path).sorted_adjacency() == g.sorted_adjacency()
+
+    def test_empty_edge_graph(self, tmp_path):
+        g = from_edge_list(3, [])
+        back = roundtrip(g, tmp_path)
+        assert back.nvtxs == 3 and back.nedges == 0
+
+
+class TestHeaderFormats:
+    def test_fmt_defaults_and_comments(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% a comment\n3 2\n2\n1 3\n2\n")
+        g = read_graph(path)
+        assert g.nvtxs == 3 and g.nedges == 2
+
+    def test_fmt_single_digit_1_means_edge_weights(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 1\n2 7\n1 7\n")
+        g = read_graph(path)
+        assert g.edge_weight(0, 1) == 7
+
+    def test_fmt_10_vertex_weights(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 10\n5 2\n6 1\n")
+        g = read_graph(path)
+        assert g.vwgt.tolist() == [5, 6]
+
+    def test_fmt_11_both(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 11\n5 2 9\n6 1 9\n")
+        g = read_graph(path)
+        assert g.vwgt.tolist() == [5, 6]
+        assert g.edge_weight(0, 1) == 9
+
+
+class TestMalformed:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("")
+        with pytest.raises(GraphValidationError, match="empty"):
+            read_graph(path)
+
+    def test_short_header(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("5\n")
+        with pytest.raises(GraphValidationError, match="header"):
+            read_graph(path)
+
+    def test_wrong_vertex_count(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphValidationError, match="vertices"):
+            read_graph(path)
+
+    def test_wrong_edge_count(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphValidationError, match="edges"):
+            read_graph(path)
+
+    def test_out_of_range_neighbor(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1\n3\n1\n")
+        with pytest.raises(GraphValidationError, match="out of range"):
+            read_graph(path)
+
+
+class TestMatrixMarket:
+    def test_symmetric_pattern(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% comment\n"
+            "3 3 4\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "3 2 -1.0\n"
+            "2 2 2.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.nvtxs == 3
+        assert g.nedges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_pattern_file_without_values(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "2 2 1\n"
+            "2 1\n"
+        )
+        g = read_matrix_market(path)
+        assert g.nedges == 1
+
+    def test_rejects_nonsquare(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n")
+        with pytest.raises(GraphValidationError, match="square"):
+            read_matrix_market(path)
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text("2 2 1\n1 2 1.0\n")
+        with pytest.raises(GraphValidationError, match="header"):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1.0\n")
+        with pytest.raises(GraphValidationError, match="coordinate"):
+            read_matrix_market(path)

@@ -1,0 +1,75 @@
+"""Tests for direct k-way refinement (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import partition, partition_refined, refine_kway
+from repro.core.options import DEFAULT_OPTIONS
+from repro.graph import KWayPartition, edge_cut, part_weights
+from tests.conftest import random_graph
+
+
+class TestRefineKway:
+    def test_never_worsens(self, grid16):
+        p = partition(grid16, 8, DEFAULT_OPTIONS, np.random.default_rng(0))
+        before = p.cut
+        refine_kway(grid16, p, DEFAULT_OPTIONS, np.random.default_rng(1))
+        assert p.cut <= before
+        assert p.cut == edge_cut(grid16, p.where)
+        assert np.array_equal(p.pwgts, part_weights(grid16, p.where, 8))
+
+    def test_improves_bad_partition(self, grid16):
+        """A random assignment has massive positive-gain moves; greedy
+        k-way refinement must slash the cut."""
+        rng = np.random.default_rng(2)
+        where = rng.integers(0, 4, grid16.nvtxs).astype(np.int32)
+        p = KWayPartition.from_where(grid16, where, 4)
+        before = p.cut
+        refine_kway(grid16, p, DEFAULT_OPTIONS, np.random.default_rng(3))
+        assert p.cut < before / 2
+
+    def test_respects_balance_cap(self, grid16):
+        rng = np.random.default_rng(4)
+        where = rng.integers(0, 4, grid16.nvtxs).astype(np.int32)
+        p = KWayPartition.from_where(grid16, where, 4)
+        refine_kway(grid16, p, DEFAULT_OPTIONS, np.random.default_rng(5))
+        cap = np.ceil(DEFAULT_OPTIONS.ubfactor * grid16.total_vwgt() / 4)
+        assert p.pwgts.max() <= cap
+
+    def test_repairs_overweight_part(self, grid16):
+        where = np.zeros(grid16.nvtxs, dtype=np.int32)
+        where[:10] = 1  # part 0 grossly overweight
+        p = KWayPartition.from_where(grid16, where, 2)
+        refine_kway(grid16, p, DEFAULT_OPTIONS, np.random.default_rng(6))
+        cap = np.ceil(DEFAULT_OPTIONS.ubfactor * grid16.total_vwgt() / 2)
+        # Greedy repair moves should at least reduce the overweight.
+        assert p.pwgts.max() < grid16.nvtxs - 10
+
+    def test_k1_noop(self, grid16):
+        p = KWayPartition.from_where(grid16, np.zeros(grid16.nvtxs, dtype=np.int32), 1)
+        refine_kway(grid16, p, DEFAULT_OPTIONS)
+        assert p.cut == 0
+
+    def test_partition_refined_wrapper(self, grid16):
+        plain = partition(grid16, 8, DEFAULT_OPTIONS, np.random.default_rng(7))
+        refined = partition_refined(grid16, 8, DEFAULT_OPTIONS, np.random.default_rng(7))
+        assert refined.cut <= plain.cut
+        assert refined.cut == edge_cut(grid16, refined.where)
+
+    def test_helps_on_irregular_graph(self):
+        g = random_graph(300, 0.04, seed=8, connected=True)
+        rng = np.random.default_rng(9)
+        where = rng.integers(0, 6, g.nvtxs).astype(np.int32)
+        p = KWayPartition.from_where(g, where, 6)
+        before = p.cut
+        refine_kway(g, p, DEFAULT_OPTIONS, np.random.default_rng(10))
+        assert p.cut < before
+
+    def test_deterministic(self, grid16):
+        rng_w = np.random.default_rng(11)
+        where = rng_w.integers(0, 4, grid16.nvtxs).astype(np.int32)
+        a = KWayPartition.from_where(grid16, where.copy(), 4)
+        b = KWayPartition.from_where(grid16, where.copy(), 4)
+        refine_kway(grid16, a, DEFAULT_OPTIONS, np.random.default_rng(12))
+        refine_kway(grid16, b, DEFAULT_OPTIONS, np.random.default_rng(12))
+        assert np.array_equal(a.where, b.where)

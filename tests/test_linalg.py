@@ -1,0 +1,181 @@
+"""Tests for the sparse linear algebra consumers (Cholesky, CG, cost model)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    conjugate_gradient,
+    laplacian_system,
+    simulate_parallel_matvec,
+    sparse_cholesky,
+)
+from repro.linalg.cholesky import FactorizationError
+from repro.linalg.system import SparseSPD
+from repro.ordering import factor_stats, mlnd_ordering, mmd_ordering
+from tests.conftest import path_graph, random_graph
+
+
+@pytest.fixture
+def system20():
+    from repro.matrices import grid2d
+
+    g = grid2d(8, 8)
+    return (g, *laplacian_system(g, rng=np.random.default_rng(0)))
+
+
+class TestSparseSPD:
+    def test_matvec_matches_dense(self, system20):
+        g, A, b, x_true = system20
+        rng = np.random.default_rng(1)
+        dense = A.dense()
+        for _ in range(3):
+            x = rng.standard_normal(A.n)
+            assert np.allclose(A.matvec(x), dense @ x)
+
+    def test_dense_symmetric(self, system20):
+        _, A, _, _ = system20
+        dense = A.dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_b_consistent_with_x_true(self, system20):
+        _, A, b, x_true = system20
+        assert np.allclose(A.matvec(x_true), b)
+
+    def test_permuted_matches_dense_permutation(self, system20):
+        _, A, _, _ = system20
+        perm = np.random.default_rng(2).permutation(A.n)
+        Ap = A.permuted(perm)
+        dense = A.dense()
+        assert np.allclose(Ap.dense(), dense[np.ix_(perm, perm)])
+
+
+class TestCholesky:
+    def test_solves_exactly(self, system20):
+        _, A, b, x_true = system20
+        x = sparse_cholesky(A).solve(b)
+        assert np.allclose(x, x_true, atol=1e-10)
+
+    def test_solve_with_ordering(self, system20):
+        g, A, b, x_true = system20
+        o = mmd_ordering(g)
+        x = sparse_cholesky(A, o.perm).solve(b)
+        assert np.allclose(x, x_true, atol=1e-10)
+
+    def test_factor_matches_dense_cholesky_nnz_free(self, system20):
+        """L from the sparse code must reproduce dense numpy's factor on
+        the permuted matrix (up to fill zeros)."""
+        _, A, _, _ = system20
+        F = sparse_cholesky(A)
+        dense_L = np.linalg.cholesky(A.dense())
+        assert np.allclose(F.diag, np.diag(dense_L))
+        for j in range(A.n):
+            assert np.allclose(F.values[j], dense_L[F.structs[j], j])
+
+    def test_ordering_reduces_nnz(self):
+        from repro.matrices import grid2d
+
+        g = grid2d(14, 14)
+        A, b, _ = laplacian_system(g, rng=np.random.default_rng(3))
+        natural = sparse_cholesky(A)
+        ordered = sparse_cholesky(A, mmd_ordering(g).perm)
+        assert ordered.nnz() < natural.nnz()
+
+    def test_nnz_matches_symbolic_prediction(self):
+        from repro.matrices import grid2d
+
+        g = grid2d(10, 10)
+        A, _, _ = laplacian_system(g)
+        o = mlnd_ordering(g, rng=np.random.default_rng(0))
+        F = sparse_cholesky(A, o.perm)
+        stats = factor_stats(g, o.perm)
+        assert F.nnz() == stats.nnz_factor
+
+    def test_log_determinant(self, system20):
+        _, A, _, _ = system20
+        F = sparse_cholesky(A)
+        sign, logdet = np.linalg.slogdet(A.dense())
+        assert sign > 0
+        assert F.log_determinant() == pytest.approx(logdet, rel=1e-10)
+
+    def test_indefinite_rejected(self):
+        g = path_graph(3)
+        A = SparseSPD(g, diag=np.array([1.0, -5.0, 1.0]),
+                      offdiag=-np.ones(4))
+        with pytest.raises(FactorizationError, match="positive definite"):
+            sparse_cholesky(A)
+
+    def test_disconnected_graph(self):
+        from tests.conftest import two_triangles
+
+        g = two_triangles()
+        A, b, x_true = laplacian_system(g, rng=np.random.default_rng(4))
+        x = sparse_cholesky(A).solve(b)
+        assert np.allclose(x, x_true, atol=1e-10)
+
+
+class TestCG:
+    def test_converges_to_truth(self, system20):
+        _, A, b, x_true = system20
+        res = conjugate_gradient(A, b, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_jacobi_preconditioning_converges(self, system20):
+        _, A, b, x_true = system20
+        res = conjugate_gradient(A, b, tol=1e-12, jacobi=True)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_residual_history_decreasing_overall(self, system20):
+        _, A, b, _ = system20
+        res = conjugate_gradient(A, b, tol=1e-10)
+        assert res.residual_history[-1] < res.residual_history[0]
+        assert res.iterations + 1 == len(res.residual_history)
+
+    def test_maxiter_respected(self, system20):
+        _, A, b, _ = system20
+        res = conjugate_gradient(A, b, tol=1e-16, maxiter=3)
+        assert res.iterations == 3
+        assert not res.converged
+
+    def test_warm_start(self, system20):
+        _, A, b, x_true = system20
+        cold = conjugate_gradient(A, b, tol=1e-10)
+        warm = conjugate_gradient(A, b, tol=1e-10, x0=x_true)
+        assert warm.iterations <= cold.iterations
+
+
+class TestMatvecModel:
+    def test_serial_time_is_flops(self, grid16):
+        where = np.zeros(grid16.nvtxs, dtype=np.int32)
+        cost = simulate_parallel_matvec(grid16, where, 1)
+        assert cost.comm_max == 0.0
+        assert cost.step_time == cost.serial_time
+
+    def test_better_partition_cheaper_step(self, grid16):
+        """A contiguous partition must beat a random scatter."""
+        import repro
+
+        good = repro.partition(grid16, 4, seed=1)
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 4, grid16.nvtxs)
+        c_good = simulate_parallel_matvec(grid16, good.where, 4)
+        c_bad = simulate_parallel_matvec(grid16, bad, 4)
+        assert c_good.step_time < c_bad.step_time
+
+    def test_communication_fraction_bounds(self, grid16):
+        import repro
+
+        p = repro.partition(grid16, 4, seed=2)
+        cost = simulate_parallel_matvec(grid16, p.where, 4)
+        assert 0.0 <= cost.communication_fraction <= 1.0
+
+    def test_zero_comm_machine(self, grid16):
+        import repro
+
+        p = repro.partition(grid16, 4, seed=3)
+        cost = simulate_parallel_matvec(
+            grid16, p.where, 4, t_word=0.0, t_startup=0.0
+        )
+        assert cost.comm_max == 0.0
+        assert cost.speedup > 3.0  # balanced compute only

@@ -1,0 +1,192 @@
+"""Tests for the four matching schemes (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import (
+    compute_matching,
+    hcm_matching,
+    hem_matching,
+    is_maximal_matching,
+    is_valid_matching,
+    lem_matching,
+    rm_matching,
+)
+from repro.core.options import MatchingScheme
+from repro.graph import from_edge_list, matching_weight
+from tests.conftest import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+ALL_SCHEMES = [rm_matching, hem_matching, lem_matching, hcm_matching]
+GRAPHS = {
+    "path10": path_graph(10),
+    "cycle9": cycle_graph(9),
+    "star8": star_graph(8),
+    "k6": complete_graph(6),
+    "random": random_graph(60, 0.1, seed=4),
+}
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("name", GRAPHS, ids=GRAPHS.keys())
+class TestValidityAndMaximality:
+    def test_valid(self, scheme, name):
+        g = GRAPHS[name]
+        match = scheme(g, np.random.default_rng(0))
+        assert is_valid_matching(g, match)
+
+    def test_maximal(self, scheme, name):
+        g = GRAPHS[name]
+        match = scheme(g, np.random.default_rng(1))
+        assert is_maximal_matching(g, match)
+
+
+class TestSchemeCharacteristics:
+    def test_star_leaves_all_but_one_unmatched(self):
+        g = star_graph(8)
+        match = rm_matching(g, np.random.default_rng(0))
+        matched = (match != np.arange(8)).sum()
+        assert matched == 2  # exactly the centre and one leaf
+
+    def test_hem_prefers_heavy_edges(self):
+        # K4 whose heavy edges form a perfect matching: whichever vertex is
+        # visited first picks its heavy partner, and the remaining pair is
+        # forced onto the other heavy edge — so HEM's result is the heavy
+        # perfect matching for every visiting order.
+        g = from_edge_list(
+            4,
+            [(0, 1), (2, 3), (0, 2), (1, 3), (0, 3), (1, 2)],
+            [100, 100, 1, 1, 1, 1],
+        )
+        for seed in range(8):
+            match = hem_matching(g, np.random.default_rng(seed))
+            assert matching_weight(g, match) == 200
+
+    def test_lem_prefers_light_edges(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], [100, 1])
+        # Whenever vertex 1 is visited first, LEM must pick the light edge.
+        hits = 0
+        for seed in range(20):
+            match = lem_matching(g, np.random.default_rng(seed))
+            if match[1] == 2:
+                hits += 1
+        assert hits > 0  # happens for some visit orders
+        # And in no case may vertex 1 remain unmatched.
+        for seed in range(20):
+            match = lem_matching(g, np.random.default_rng(seed))
+            assert match[1] != 1
+
+    def test_hem_weight_at_least_lem_weight_statistically(self):
+        g = random_graph(80, 0.15, seed=7)
+        rng_state = np.random.default_rng(3)
+        g = from_edge_list(
+            g.nvtxs,
+            g.edge_array()[:, :2],
+            rng_state.integers(1, 50, g.nedges),
+        )
+        hem_w = np.mean([
+            matching_weight(g, hem_matching(g, np.random.default_rng(s)))
+            for s in range(5)
+        ])
+        lem_w = np.mean([
+            matching_weight(g, lem_matching(g, np.random.default_rng(s)))
+            for s in range(5)
+        ])
+        assert hem_w > lem_w
+
+    def test_hcm_on_flat_graph_equals_heavy_edge_choice(self):
+        # On an uncoarsened unit-weight graph every matched pair is a
+        # 2-clique, so density reduces to edge weight: HCM must also find
+        # the heavy perfect matching of the K4 from the HEM test.
+        g = from_edge_list(
+            4,
+            [(0, 1), (2, 3), (0, 2), (1, 3), (0, 3), (1, 2)],
+            [100, 100, 1, 1, 1, 1],
+        )
+        for seed in range(8):
+            match = hcm_matching(g, np.random.default_rng(seed))
+            assert matching_weight(g, match) == 200
+
+    def test_hcm_uses_contracted_edge_weight(self):
+        # Coarse-level scenario: multinodes 0 and 1 are 2-vertex cliques
+        # (vwgt=2, cewgt=1) joined by a contracted weight-4 edge, so
+        # merging them forms a perfect 4-clique (density 1.0).  Vertices 2
+        # and 3 are plain (density of (2,3) is also 1.0, of (0,2) only
+        # 0.67).  The density-optimal matching {(0,1),(2,3)} is forced for
+        # every visiting order.
+        g = from_edge_list(
+            4, [(0, 1), (0, 2), (2, 3)], [4, 1, 1], vwgt=[2, 2, 1, 1]
+        )
+        cewgt = np.array([1, 1, 0, 0], dtype=np.int64)
+        for seed in range(8):
+            match = hcm_matching(g, np.random.default_rng(seed), cewgt)
+            assert match.tolist() == [1, 0, 3, 2]
+
+    def test_empty_graph(self):
+        g = from_edge_list(0, [])
+        for scheme in ALL_SCHEMES:
+            match = scheme(g, np.random.default_rng(0))
+            assert len(match) == 0
+
+    def test_edgeless_graph_all_unmatched(self):
+        g = from_edge_list(5, [])
+        for scheme in ALL_SCHEMES:
+            match = scheme(g, np.random.default_rng(0))
+            assert np.array_equal(match, np.arange(5))
+
+    def test_single_edge(self):
+        g = from_edge_list(2, [(0, 1)])
+        for scheme in ALL_SCHEMES:
+            match = scheme(g, np.random.default_rng(0))
+            assert match.tolist() == [1, 0]
+
+
+class TestDispatch:
+    def test_compute_matching_by_enum_and_string(self):
+        g = path_graph(6)
+        for scheme in MatchingScheme:
+            match = compute_matching(g, scheme, np.random.default_rng(0))
+            assert is_valid_matching(g, match)
+        match = compute_matching(g, "hem", np.random.default_rng(0))
+        assert is_valid_matching(g, match)
+
+    def test_unknown_scheme_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            compute_matching(g, "nope", np.random.default_rng(0))
+
+    def test_determinism_with_fixed_seed(self):
+        g = random_graph(50, 0.15, seed=9)
+        a = hem_matching(g, np.random.default_rng(42))
+        b = hem_matching(g, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        g = random_graph(50, 0.15, seed=9)
+        a = rm_matching(g, np.random.default_rng(1))
+        b = rm_matching(g, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+
+class TestMatchingValidators:
+    def test_invalid_length(self):
+        g = path_graph(4)
+        assert not is_valid_matching(g, np.arange(3))
+
+    def test_non_involution(self):
+        g = path_graph(4)
+        assert not is_valid_matching(g, np.array([1, 2, 1, 3]))
+
+    def test_non_edge_pair(self):
+        g = path_graph(4)  # 0-1-2-3; (0,3) is not an edge
+        assert not is_valid_matching(g, np.array([3, 1, 2, 0]))
+
+    def test_non_maximal_detected(self):
+        g = path_graph(4)
+        # Nothing matched although edges exist.
+        assert not is_maximal_matching(g, np.arange(4))

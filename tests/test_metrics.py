@@ -1,0 +1,132 @@
+"""Tests for communication metrics and graph permutation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    communication_volume,
+    edge_cut,
+    from_edge_list,
+    halo_sizes,
+    partition_report,
+    permute_graph,
+    subdomain_connectivity,
+)
+from repro.utils.errors import OrderingError
+from tests.conftest import path_graph, random_graph, star_graph
+
+
+class TestCommunicationVolume:
+    def test_path_middle_cut(self):
+        g = path_graph(4)
+        where = np.array([0, 0, 1, 1])
+        # Vertex 1 is sent to part 1, vertex 2 to part 0: volume 2.
+        assert communication_volume(g, where) == 2
+
+    def test_star_hub_counted_once_per_part(self):
+        g = star_graph(7)  # center 0 + 6 leaves
+        where = np.array([0, 1, 1, 1, 2, 2, 2])
+        # Centre goes to parts 1 and 2 (2 sends); each leaf goes to part 0
+        # (6 sends): volume 8 but cut is 6.
+        assert edge_cut(g, where) == 6
+        assert communication_volume(g, where) == 8
+
+    def test_volume_le_twice_cut(self):
+        g = random_graph(50, 0.15, seed=1)
+        where = np.random.default_rng(0).integers(0, 4, g.nvtxs)
+        # Each cut edge contributes at most 2 sends.
+        assert communication_volume(g, where) <= 2 * edge_cut(g, where)
+
+    def test_no_cut_no_volume(self):
+        g = path_graph(5)
+        assert communication_volume(g, np.zeros(5, dtype=int)) == 0
+
+
+class TestHalos:
+    def test_path_halos(self):
+        g = path_graph(4)
+        halos = halo_sizes(g, np.array([0, 0, 1, 1]))
+        assert halos.tolist() == [1, 1]
+
+    def test_part_without_boundary(self):
+        g = from_edge_list(4, [(0, 1), (2, 3)])
+        halos = halo_sizes(g, np.array([0, 0, 1, 1]), nparts=2)
+        assert halos.tolist() == [0, 0]
+
+    def test_dedup_remote_vertices(self):
+        # Two vertices of part 0 both adjacent to the same remote vertex.
+        g = from_edge_list(3, [(0, 2), (1, 2)])
+        halos = halo_sizes(g, np.array([0, 0, 1]))
+        assert halos.tolist() == [1, 2]
+
+
+class TestConnectivity:
+    def test_linear_parts(self):
+        g = path_graph(6)
+        where = np.array([0, 0, 1, 1, 2, 2])
+        conn = subdomain_connectivity(g, where)
+        assert conn.tolist() == [1, 2, 1]
+
+    def test_empty_graph(self):
+        g = from_edge_list(0, [])
+        assert len(subdomain_connectivity(g, np.zeros(0, dtype=int), 0)) == 0
+
+
+class TestPartitionReport:
+    def test_report_fields(self):
+        g = path_graph(6)
+        where = np.array([0, 0, 1, 1, 2, 2])
+        rep = partition_report(g, where)
+        assert rep.nparts == 3
+        assert rep.edge_cut == 2
+        assert rep.communication_volume == 4
+        assert rep.max_halo == 2
+        assert rep.max_connectivity == 2
+        assert rep.pwgts == (2, 2, 2)
+        assert rep.balance == pytest.approx(1.0)
+
+
+class TestPermuteGraph:
+    def test_identity(self):
+        g = random_graph(20, 0.2, seed=2)
+        assert permute_graph(g, np.arange(20)).sorted_adjacency() == g.sorted_adjacency()
+
+    def test_relabel_edge(self):
+        g = from_edge_list(3, [(0, 1)], [7], vwgt=[1, 2, 3])
+        out = permute_graph(g, np.array([2, 0, 1]))
+        # new 0 = old 2 (isolated), new 1 = old 0, new 2 = old 1.
+        assert out.vwgt.tolist() == [3, 1, 2]
+        assert out.edge_weight(1, 2) == 7
+        assert out.degree(0) == 0
+
+    def test_roundtrip(self):
+        g = random_graph(25, 0.2, seed=3)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(25)
+        iperm = np.empty(25, dtype=np.int64)
+        iperm[perm] = np.arange(25)
+        back = permute_graph(permute_graph(g, perm), iperm)
+        assert back.sorted_adjacency() == g.sorted_adjacency()
+
+    def test_coords_carried(self):
+        g = path_graph(3)
+        g.coords = np.array([[0.0, 0], [1, 0], [2, 0]])
+        out = permute_graph(g, np.array([2, 1, 0]))
+        assert np.allclose(out.coords[:, 0], [2, 1, 0])
+
+    def test_invalid_perm(self):
+        g = path_graph(3)
+        with pytest.raises(OrderingError):
+            permute_graph(g, np.array([0, 0, 1]))
+
+    def test_ordering_invariance_of_factor_under_relabel(self):
+        """Permuting the graph then factoring naturally == factoring the
+        original under the ordering (the whole point of perm/iperm)."""
+        from repro.ordering import factor_stats, mmd_ordering
+
+        g = random_graph(30, 0.15, seed=4, connected=True)
+        o = mmd_ordering(g)
+        direct = factor_stats(g, o.perm)
+        relabeled = factor_stats(permute_graph(g, o.perm), np.arange(g.nvtxs))
+        assert direct.opcount == relabeled.opcount
+        assert direct.fill == relabeled.fill

@@ -1,0 +1,115 @@
+"""Tests for the multiple-minimum-degree ordering."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import factor_stats, minimum_degree_ordering, mmd_ordering
+from tests.conftest import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(12),
+            cycle_graph(9),
+            star_graph(7),
+            complete_graph(6),
+            random_graph(40, 0.15, seed=1),
+            random_graph(40, 0.02, seed=2),  # sparse, disconnected
+        ],
+        ids=["path", "cycle", "star", "clique", "random", "sparse"],
+    )
+    def test_produces_permutation(self, graph):
+        mmd_ordering(graph).verify()
+
+    def test_empty_graph(self):
+        from repro.graph import from_edge_list
+
+        o = mmd_ordering(from_edge_list(0, []))
+        assert len(o) == 0
+
+    def test_edgeless_graph(self):
+        from repro.graph import from_edge_list
+
+        o = mmd_ordering(from_edge_list(5, []))
+        o.verify()
+
+    def test_method_tag(self):
+        assert mmd_ordering(path_graph(4)).method == "mmd"
+
+
+class TestQuality:
+    def test_tree_ordering_is_perfect(self):
+        """Trees have perfect elimination orders; minimum degree finds one
+        (always a leaf available), so MMD must produce zero fill."""
+        rng = np.random.default_rng(3)
+        n = 60
+        edges = [(i, int(rng.integers(0, i))) for i in range(1, n)]
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(n, edges)
+        stats = factor_stats(g, mmd_ordering(g).perm)
+        assert stats.fill == 0
+
+    def test_path_no_fill(self):
+        g = path_graph(30)
+        stats = factor_stats(g, mmd_ordering(g).perm)
+        assert stats.fill == 0
+
+    def test_star_no_fill(self):
+        """Leaves have degree 1 < centre, so MMD orders the centre last."""
+        g = star_graph(20)
+        o = mmd_ordering(g)
+        assert o.perm[-1] == 0
+        assert factor_stats(g, o.perm).fill == 0
+
+    def test_cycle_minimal_fill(self):
+        # Optimal fill of an n-cycle is n-3 (triangulation of a polygon).
+        g = cycle_graph(12)
+        stats = factor_stats(g, mmd_ordering(g).perm)
+        assert stats.fill == 9
+
+    def test_beats_natural_on_grid(self):
+        from repro.matrices import grid2d
+
+        g = grid2d(14, 14)
+        natural = factor_stats(g, np.arange(g.nvtxs))
+        md = factor_stats(g, mmd_ordering(g).perm)
+        assert md.opcount < natural.opcount / 2
+
+    def test_beats_random_ordering(self):
+        g = random_graph(50, 0.1, seed=4, connected=True)
+        rnd = factor_stats(g, np.random.default_rng(0).permutation(g.nvtxs))
+        md = factor_stats(g, mmd_ordering(g).perm)
+        assert md.opcount <= rnd.opcount
+
+    def test_delta_variants_all_valid(self):
+        g = random_graph(50, 0.1, seed=5, connected=True)
+        for delta in (0, 1, 2):
+            mmd_ordering(g, delta=delta).verify()
+
+    def test_minimum_degree_alias(self):
+        g = path_graph(10)
+        minimum_degree_ordering(g).verify()
+
+    def test_deterministic(self):
+        g = random_graph(40, 0.15, seed=6)
+        a = mmd_ordering(g)
+        b = mmd_ordering(g)
+        assert np.array_equal(a.perm, b.perm)
+
+    def test_supervariables_on_clique_graph(self):
+        """All vertices of a clique are indistinguishable after the first
+        round; the ordering must still be a valid permutation and fill-free
+        (cliques are already dense)."""
+        g = complete_graph(8)
+        o = mmd_ordering(g)
+        o.verify()
+        assert factor_stats(g, o.perm).fill == 0

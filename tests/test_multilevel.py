@@ -1,0 +1,174 @@
+"""Tests for the multilevel bisection driver and the coarsening phase."""
+
+import numpy as np
+import pytest
+
+from repro.core import bisect, coarsen
+from repro.core.options import (
+    DEFAULT_OPTIONS,
+    InitialScheme,
+    MatchingScheme,
+    MultilevelOptions,
+    RefinePolicy,
+)
+from repro.graph import edge_cut, from_edge_list
+from repro.utils.errors import PartitionError
+from tests.conftest import (
+    assert_valid_bisection,
+    dumbbell_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+
+class TestCoarsening:
+    def test_hierarchy_shrinks(self, grid16):
+        h = coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        sizes = [g.nvtxs for g in h.graphs]
+        assert sizes[0] == 256
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] <= DEFAULT_OPTIONS.coarsen_to or len(sizes) == 1
+
+    def test_total_vertex_weight_conserved_across_levels(self, grid16):
+        h = coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        totals = {g.total_vwgt() for g in h.graphs}
+        assert totals == {grid16.total_vwgt()}
+
+    def test_edge_weight_monotonically_decreases(self, grid16):
+        h = coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        weights = [g.total_adjwgt() for g in h.graphs]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_stall_detection_on_star(self):
+        # A maximal matching on a star collapses one edge per level;
+        # the stall ratio must terminate coarsening early.
+        g = star_graph(200)
+        h = coarsen(g, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert h.nlevels < 10
+
+    def test_already_small_graph_is_single_level(self):
+        g = path_graph(10)
+        h = coarsen(g, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert h.nlevels == 1
+
+    def test_max_levels_cap(self, grid16):
+        options = DEFAULT_OPTIONS.with_(max_coarsen_levels=2, coarsen_to=2)
+        h = coarsen(grid16, options, np.random.default_rng(0))
+        assert h.nlevels <= 3
+
+    def test_all_matchings_coarsen(self, grid16):
+        for scheme in MatchingScheme:
+            h = coarsen(
+                grid16,
+                DEFAULT_OPTIONS.with_(matching=scheme),
+                np.random.default_rng(0),
+            )
+            assert h.coarsest.nvtxs < grid16.nvtxs
+
+    def test_project_to_finest(self, grid16):
+        h = coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        values = np.arange(h.coarsest.nvtxs)
+        fine = h.project_to_finest(values)
+        assert len(fine) == grid16.nvtxs
+        # Every fine vertex carries its multinode's value.
+        composed = np.arange(grid16.nvtxs)
+        label = values
+        for cmap in reversed(h.cmaps):
+            label = label[cmap]
+        assert np.array_equal(fine, label)
+
+
+class TestBisect:
+    def test_valid_result(self, grid16):
+        result = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert_valid_bisection(grid16, result.bisection)
+
+    def test_cut_matches_recomputation(self, grid16):
+        result = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(1))
+        assert result.bisection.cut == edge_cut(grid16, result.bisection.where)
+
+    def test_balance_within_ubfactor(self, grid16):
+        options = DEFAULT_OPTIONS.with_(ubfactor=1.05)
+        result = bisect(grid16, options, np.random.default_rng(2))
+        cap = np.ceil(1.05 * grid16.total_vwgt() / 2)
+        assert result.bisection.pwgts.max() <= cap
+
+    def test_deterministic_for_fixed_seed(self, grid16):
+        a = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(7))
+        b = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(7))
+        assert np.array_equal(a.bisection.where, b.bisection.where)
+        assert a.bisection.cut == b.bisection.cut
+
+    def test_dumbbell_optimal(self):
+        g = dumbbell_graph(k=8)
+        result = bisect(g, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert result.bisection.cut == 1
+
+    def test_grid_cut_near_optimal(self, grid16):
+        # Optimal bisection of a 16x16 grid cuts 16 edges; multilevel
+        # should land within 50%.
+        result = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(3))
+        assert result.bisection.cut <= 24
+
+    def test_target0_controls_split(self, grid16):
+        total = grid16.total_vwgt()
+        target = total // 4
+        result = bisect(
+            grid16, DEFAULT_OPTIONS, np.random.default_rng(4), target0=target
+        )
+        assert result.bisection.pwgts[0] <= np.ceil(1.10 * target)
+
+    def test_invalid_target_rejected(self, grid16):
+        with pytest.raises(PartitionError):
+            bisect(grid16, DEFAULT_OPTIONS, target0=0)
+        with pytest.raises(PartitionError):
+            bisect(grid16, DEFAULT_OPTIONS, target0=grid16.total_vwgt())
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(PartitionError):
+            bisect(from_edge_list(1, []))
+
+    def test_timers_populated(self, grid16):
+        result = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(5))
+        assert result.timers.total("CTime") > 0
+        assert result.timers.total("ITime") > 0
+        assert result.timers.count("RTime") == result.nlevels
+
+    def test_refinement_improves_on_projection(self, grid16):
+        """Final cut must be ≤ the coarsest graph's initial cut (the §3
+        argument for refinement: finer graphs have more freedom)."""
+        result = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(6))
+        assert result.bisection.cut <= result.initial_cut
+
+    def test_hierarchy_reuse(self, grid16):
+        h = coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(8))
+        r1 = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(9), hierarchy=h)
+        assert_valid_bisection(grid16, r1.bisection)
+        assert r1.nlevels == h.nlevels
+
+    @pytest.mark.parametrize("matching", list(MatchingScheme))
+    @pytest.mark.parametrize("initial", list(InitialScheme))
+    def test_all_phase_combinations(self, matching, initial):
+        g = random_graph(120, 0.08, seed=10, connected=True)
+        options = MultilevelOptions(
+            matching=matching, initial=initial, coarsen_to=30
+        )
+        result = bisect(g, options, np.random.default_rng(0))
+        assert_valid_bisection(g, result.bisection)
+
+    @pytest.mark.parametrize("refinement", list(RefinePolicy))
+    def test_all_refinement_policies(self, refinement, grid16):
+        options = DEFAULT_OPTIONS.with_(refinement=refinement)
+        result = bisect(grid16, options, np.random.default_rng(0))
+        assert_valid_bisection(grid16, result.bisection)
+
+    def test_weighted_graph(self):
+        g = from_edge_list(
+            6,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+            [3, 1, 4, 1, 5, 9],
+            vwgt=[2, 1, 2, 1, 2, 1],
+        )
+        result = bisect(g, DEFAULT_OPTIONS.with_(coarsen_to=4))
+        assert_valid_bisection(g, result.bisection)

@@ -1,0 +1,156 @@
+"""Tests for the parallel-formulation substrate (coloring, handshake
+matching, level statistics, the α–β speedup model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import is_maximal_matching, is_valid_matching
+from repro.parallel import (
+    MachineParameters,
+    collect_level_stats,
+    estimate_parallel_speedup,
+    greedy_coloring,
+    handshake_matching_rounds,
+    is_proper_coloring,
+    luby_coloring,
+)
+from repro.parallel.coloring import num_colors
+from repro.parallel.model import scale_levels, speedup_curve
+from tests.conftest import complete_graph, cycle_graph, path_graph, random_graph
+
+
+class TestColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(30), cycle_graph(9), complete_graph(6),
+         random_graph(80, 0.1, seed=1)],
+        ids=["path", "odd-cycle", "clique", "random"],
+    )
+    def test_luby_proper(self, graph):
+        color = luby_coloring(graph, np.random.default_rng(0))
+        assert is_proper_coloring(graph, color)
+
+    def test_luby_color_count_reasonable(self):
+        g = random_graph(100, 0.08, seed=2)
+        color = luby_coloring(g, np.random.default_rng(0))
+        max_deg = int(g.degrees().max())
+        assert num_colors(color) <= 2 * (max_deg + 1)
+
+    def test_greedy_proper_and_bounded(self):
+        g = random_graph(80, 0.1, seed=3)
+        color = greedy_coloring(g)
+        assert is_proper_coloring(g, color)
+        assert num_colors(color) <= int(g.degrees().max()) + 1
+
+    def test_clique_needs_n_colors(self):
+        g = complete_graph(7)
+        assert num_colors(greedy_coloring(g)) == 7
+        assert num_colors(luby_coloring(g, np.random.default_rng(0))) == 7
+
+    def test_improper_detected(self):
+        g = path_graph(3)
+        assert not is_proper_coloring(g, np.array([0, 0, 1]))
+        assert not is_proper_coloring(g, np.array([0, -1, 0]))
+
+    def test_empty_graph(self):
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(0, [])
+        assert len(luby_coloring(g)) == 0
+
+
+class TestHandshakeMatching:
+    def test_uncapped_reaches_maximal(self):
+        g = random_graph(100, 0.08, seed=4)
+        rounds, match = handshake_matching_rounds(g, np.random.default_rng(0))
+        assert is_valid_matching(g, match)
+        assert is_maximal_matching(g, match)
+        assert rounds >= 1
+
+    def test_rounds_logarithmic_ish(self):
+        g = random_graph(400, 0.02, seed=5)
+        rounds, _ = handshake_matching_rounds(g, np.random.default_rng(1))
+        assert rounds <= 40  # far below n; expected O(log n)
+
+    def test_cap_respected(self):
+        g = random_graph(200, 0.05, seed=6)
+        rounds, match = handshake_matching_rounds(
+            g, np.random.default_rng(0), max_rounds=2
+        )
+        assert rounds <= 2
+        assert is_valid_matching(g, match)  # valid even if not maximal
+
+    def test_single_edge(self):
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(2, [(0, 1)])
+        rounds, match = handshake_matching_rounds(g, np.random.default_rng(0))
+        assert rounds == 1
+        assert match.tolist() == [1, 0]
+
+
+class TestLevelStats:
+    def test_collects_full_hierarchy(self, grid16):
+        levels, result = collect_level_stats(grid16)
+        assert levels[0].nvtxs == 256
+        assert levels[-1].nvtxs == result.coarsest_nvtxs
+        sizes = [lv.nvtxs for lv in levels]
+        assert sizes == sorted(sizes, reverse=True)
+        for lv in levels:
+            assert 0 < lv.boundary <= lv.nvtxs
+            assert 1 <= lv.rounds <= 4
+
+
+class TestSpeedupModel:
+    @pytest.fixture(scope="class")
+    def levels(self):
+        from repro.matrices import fe_tet3d
+
+        g = fe_tet3d(2500, seed=0)
+        levels, _ = collect_level_stats(g)
+        return levels
+
+    def test_single_processor_baseline(self, levels):
+        e = estimate_parallel_speedup(levels, 1)
+        assert e.speedup == pytest.approx(1.0)
+        assert e.parallel_time == e.serial_time
+
+    def test_speedup_rises_then_saturates(self, levels):
+        # p=2 may dip below 1 on modest graphs (communication exceeds the
+        # halved work — a real effect); from there the curve must rise,
+        # and never superlinearly.
+        curve = speedup_curve(levels, [1, 2, 4, 8, 16])
+        assert curve[2] > curve[1]
+        assert curve[-1] > 1.5
+        assert all(s <= p for s, p in zip(curve, [1, 2, 4, 8, 16]))
+
+    def test_larger_problems_scale_further(self, levels):
+        small = estimate_parallel_speedup(levels, 128).speedup
+        big = estimate_parallel_speedup(scale_levels(levels, 16.0), 128).speedup
+        assert big > small
+
+    def test_paper_scale_headline(self, levels):
+        """At paper-scale problem size, p=128 speedup lands in the same
+        order as the paper's reported 56×."""
+        paper = scale_levels(levels, 20.0)
+        speedup = estimate_parallel_speedup(paper, 128).speedup
+        assert 15 <= speedup <= 110
+
+    def test_slower_network_lowers_speedup(self, levels):
+        fast = estimate_parallel_speedup(levels, 64)
+        slow = estimate_parallel_speedup(
+            levels, 64, MachineParameters(alpha=20000.0, beta=100.0)
+        )
+        assert slow.speedup < fast.speedup
+
+    def test_invalid_inputs(self, levels):
+        with pytest.raises(ValueError):
+            estimate_parallel_speedup(levels, 0)
+        with pytest.raises(ValueError):
+            scale_levels(levels, 0.0)
+
+    def test_phase_times_sum(self, levels):
+        e = estimate_parallel_speedup(levels, 32)
+        assert e.parallel_time == pytest.approx(
+            e.coarsening_time + e.initial_time + e.uncoarsening_time
+        )

@@ -1,0 +1,79 @@
+"""Tests for the parallel factorization simulator."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import (
+    factor_stats,
+    mlnd_ordering,
+    mmd_ordering,
+    simulate_parallel_factorization,
+)
+from tests.conftest import path_graph, star_graph
+
+
+class TestBasics:
+    def test_single_processor_is_serial(self, grid16):
+        stats = simulate_parallel_factorization(grid16, np.arange(256), 1)
+        assert stats.parallel_time == stats.serial_ops
+        assert stats.speedup == pytest.approx(1.0)
+
+    def test_serial_ops_match_factor_stats(self, grid16):
+        o = mmd_ordering(grid16)
+        sim = simulate_parallel_factorization(grid16, o.perm, 4)
+        assert sim.serial_ops == factor_stats(grid16, o.perm).opcount
+
+    def test_speedup_bounded_by_processors(self, grid16):
+        o = mlnd_ordering(grid16, rng=np.random.default_rng(0))
+        for p in (2, 4, 8):
+            sim = simulate_parallel_factorization(grid16, o.perm, p)
+            assert 1.0 <= sim.speedup <= p + 1e-9
+            assert sim.efficiency == pytest.approx(sim.speedup / p)
+
+    def test_speedup_monotone_in_processors(self, grid16):
+        o = mlnd_ordering(grid16, rng=np.random.default_rng(1))
+        speeds = [
+            simulate_parallel_factorization(grid16, o.perm, p).speedup
+            for p in (1, 2, 4, 8)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+
+    def test_chain_has_no_parallelism(self):
+        """A path ordered along itself is one long dependence chain: the
+        only parallelism left is inside each (width-2) column, so the
+        speedup is capped near 2 regardless of processor count."""
+        g = path_graph(64)
+        sim = simulate_parallel_factorization(g, np.arange(64), 8)
+        assert sim.speedup < 2.5
+
+    def test_flat_tree_parallelises(self):
+        """A star ordered leaves-first is embarrassingly parallel."""
+        g = star_graph(129)
+        perm = np.concatenate([np.arange(1, 129), [0]])
+        sim = simulate_parallel_factorization(g, perm, 8)
+        assert sim.speedup > 4.0
+
+    def test_invalid_processors(self, grid16):
+        with pytest.raises(ValueError):
+            simulate_parallel_factorization(grid16, np.arange(256), 0)
+
+    def test_empty_graph(self):
+        from repro.graph import from_edge_list
+
+        sim = simulate_parallel_factorization(from_edge_list(0, []), [], 4)
+        assert sim.serial_ops == 0
+
+
+class TestPaperClaim:
+    def test_mlnd_more_concurrent_than_mmd(self):
+        """§4.3: nested-dissection orderings expose more concurrency than
+        minimum-degree orderings on FE meshes."""
+        from repro.matrices import fe_tet3d
+
+        g = fe_tet3d(900, seed=3)
+        nd = mlnd_ordering(g, rng=np.random.default_rng(2))
+        md = mmd_ordering(g)
+        p = 16
+        s_nd = simulate_parallel_factorization(g, nd.perm, p)
+        s_md = simulate_parallel_factorization(g, md.perm, p)
+        assert s_nd.speedup > s_md.speedup

@@ -1,0 +1,283 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+These chase the invariants the whole system rests on, over arbitrary small
+graphs and weights:
+
+* constructors always produce valid CSR;
+* matchings are valid and maximal for every scheme;
+* contraction conserves vertex weight and satisfies
+  ``W(E_{i+1}) = W(E_i) − W(M)``;
+* refinement never worsens the (overweight, cut) state;
+* multilevel bisection always yields two non-empty consistent sides;
+* vertex covers actually separate;
+* orderings are permutations and symbolic fill matches brute force;
+* .graph round-trips are lossless.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import bisect
+from repro.core.matching import (
+    compute_matching,
+    is_maximal_matching,
+    is_valid_matching,
+)
+from repro.core.options import DEFAULT_OPTIONS, MatchingScheme, RefinePolicy
+from repro.core.refine import refine_bisection
+from repro.graph import (
+    Bisection,
+    coarse_map_from_matching,
+    contract,
+    edge_cut,
+    from_edge_list,
+    matching_weight,
+    part_weights,
+    read_graph,
+    validate_graph,
+    write_graph,
+)
+from repro.ordering import factor_stats, mmd_ordering, vertex_separator_from_bisection
+from tests.conftest import assert_separator, brute_force_cut, brute_force_fill
+
+# --------------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def graphs(draw, max_n=24, weighted=False, min_n=2):
+    """Arbitrary simple undirected graph as (n, edges, weights)."""
+    n = draw(st.integers(min_n, max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=min(60, len(possible)))
+    ) if possible else []
+    if weighted and edges:
+        weights = draw(
+            st.lists(
+                st.integers(1, 20), min_size=len(edges), max_size=len(edges)
+            )
+        )
+    else:
+        weights = None
+    return from_edge_list(n, edges, weights)
+
+
+settings.register_profile(
+    "repro", deadline=None, max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# --------------------------------------------------------------------------
+# graph substrate
+# --------------------------------------------------------------------------
+@given(graphs(weighted=True))
+def test_constructed_graphs_always_valid(g):
+    validate_graph(g)
+
+
+@given(graphs(weighted=True), st.integers(0, 3))
+def test_edge_cut_matches_brute_force(g, seed):
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, 2, g.nvtxs)
+    assert edge_cut(g, where) == brute_force_cut(g, where)
+
+
+@given(g=graphs())
+def test_graph_file_roundtrip(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.graph"
+    write_graph(g, path)
+    back = read_graph(path)
+    assert back.sorted_adjacency() == g.sorted_adjacency()
+
+
+# --------------------------------------------------------------------------
+# matching + contraction
+# --------------------------------------------------------------------------
+@given(graphs(weighted=True), st.sampled_from(list(MatchingScheme)), st.integers(0, 5))
+def test_matchings_valid_and_maximal(g, scheme, seed):
+    match = compute_matching(g, scheme, np.random.default_rng(seed))
+    assert is_valid_matching(g, match)
+    assert is_maximal_matching(g, match)
+
+
+@given(graphs(weighted=True), st.integers(0, 5))
+def test_contraction_invariants(g, seed):
+    match = compute_matching(g, MatchingScheme.HEM, np.random.default_rng(seed))
+    cmap, nc = coarse_map_from_matching(match)
+    coarse = contract(g, cmap, nc)
+    validate_graph(coarse)
+    assert coarse.total_vwgt() == g.total_vwgt()
+    assert coarse.total_adjwgt() == g.total_adjwgt() - matching_weight(g, match)
+
+
+@given(graphs(weighted=True), st.integers(0, 3))
+def test_projection_preserves_cut(g, seed):
+    rng = np.random.default_rng(seed)
+    match = compute_matching(g, MatchingScheme.RM, rng)
+    cmap, nc = coarse_map_from_matching(match)
+    coarse = contract(g, cmap, nc)
+    coarse_where = rng.integers(0, 2, nc)
+    assert edge_cut(coarse, coarse_where) == edge_cut(g, coarse_where[cmap])
+
+
+# --------------------------------------------------------------------------
+# refinement
+# --------------------------------------------------------------------------
+@given(graphs(weighted=True), st.sampled_from(list(RefinePolicy)), st.integers(0, 3))
+def test_refinement_consistency_and_monotonicity(g, policy, seed):
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+    b = Bisection.from_where(g, where)
+
+    def state_key(bisection):
+        # Refinement optimises lexicographically: repair overweight first,
+        # then cut — so the cut alone may *rise* while balance is fixed.
+        import math
+
+        cap = int(math.ceil(DEFAULT_OPTIONS.ubfactor * g.total_vwgt() / 2))
+        over = max(0, int(bisection.pwgts[0]) - cap) + max(
+            0, int(bisection.pwgts[1]) - cap
+        )
+        return (over, bisection.cut)
+
+    before = state_key(b)
+    refine_bisection(g, b, policy, DEFAULT_OPTIONS)
+    # Cached values must match recomputation.
+    assert b.cut == edge_cut(g, b.where)
+    assert np.array_equal(b.pwgts, part_weights(g, b.where, 2))
+    if policy is not RefinePolicy.NONE:
+        assert state_key(b) <= before
+
+
+# --------------------------------------------------------------------------
+# multilevel bisection
+# --------------------------------------------------------------------------
+@given(graphs(min_n=4, weighted=True), st.integers(0, 3))
+def test_bisect_always_valid(g, seed):
+    result = bisect(
+        g, DEFAULT_OPTIONS.with_(coarsen_to=4), np.random.default_rng(seed)
+    )
+    b = result.bisection
+    assert b.cut == edge_cut(g, b.where)
+    counts = np.bincount(b.where, minlength=2)
+    assert counts[0] > 0 and counts[1] > 0
+
+
+# --------------------------------------------------------------------------
+# separators and orderings
+# --------------------------------------------------------------------------
+@given(graphs(), st.integers(0, 3))
+def test_vertex_separator_separates(g, seed):
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, 2, g.nvtxs)
+    sep = vertex_separator_from_bisection(g, where)
+    assert_separator(g, sep, where)
+
+
+@given(graphs())
+def test_mmd_is_permutation_with_sane_fill(g):
+    o = mmd_ordering(g)
+    o.verify()
+    stats = factor_stats(g, o.perm)
+    assert stats.fill >= 0
+
+
+@given(graphs(max_n=14), st.integers(0, 3))
+def test_symbolic_factor_matches_brute_force(g, seed):
+    from repro.ordering import symbolic_factor
+
+    perm = np.random.default_rng(seed).permutation(g.nvtxs)
+    counts, _ = symbolic_factor(g, perm)
+    brute_counts, _ = brute_force_fill(g, perm)
+    assert np.array_equal(counts, brute_counts)
+
+
+@given(graphs(min_n=4), st.integers(0, 2))
+def test_mlnd_is_permutation(g, seed):
+    from repro.ordering import mlnd_ordering
+
+    o = mlnd_ordering(
+        g, DEFAULT_OPTIONS.with_(coarsen_to=4), np.random.default_rng(seed),
+        leaf_size=5,
+    )
+    o.verify()
+
+
+@given(graphs(), st.integers(0, 3))
+def test_separator_refinement_preserves_invariant(g, seed):
+    from repro.ordering import (
+        build_labelling,
+        is_valid_separator_labelling,
+        refine_vertex_separator,
+        separator_weight,
+    )
+
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, 2, g.nvtxs)
+    sep = vertex_separator_from_bisection(g, where)
+    where3 = build_labelling(g, where, sep)
+    assert is_valid_separator_labelling(g, where3)
+    before = separator_weight(g, where3)
+    refine_vertex_separator(g, where3, np.random.default_rng(1))
+    assert is_valid_separator_labelling(g, where3)
+    assert separator_weight(g, where3) <= before
+
+
+@given(graphs(min_n=4, weighted=True), st.integers(2, 4), st.integers(0, 2))
+def test_kway_refine_invariants(g, k, seed):
+    from repro.core import refine_kway
+    from repro.graph import KWayPartition
+
+    rng = np.random.default_rng(seed)
+    where = rng.integers(0, k, g.nvtxs).astype(np.int32)
+    p = KWayPartition.from_where(g, where, k)
+    before = p.cut
+    refine_kway(g, p, DEFAULT_OPTIONS, np.random.default_rng(1))
+    assert p.cut == edge_cut(g, p.where)
+    assert np.array_equal(p.pwgts, part_weights(g, p.where, k))
+    assert p.cut <= before
+
+
+@given(graphs(min_n=2), st.integers(0, 3))
+def test_handshake_matching_property(g, seed):
+    from repro.core.matching import is_maximal_matching, is_valid_matching
+    from repro.parallel import handshake_matching_rounds
+
+    rounds, match = handshake_matching_rounds(g, np.random.default_rng(seed))
+    assert is_valid_matching(g, match)
+    assert is_maximal_matching(g, match)
+
+
+@given(graphs(min_n=2), st.integers(0, 3))
+def test_luby_coloring_property(g, seed):
+    from repro.parallel import is_proper_coloring, luby_coloring
+
+    color = luby_coloring(g, np.random.default_rng(seed))
+    assert is_proper_coloring(g, color)
+
+
+@given(graphs(min_n=2, max_n=18), st.integers(0, 2))
+def test_cholesky_solves_random_spd_systems(g, seed):
+    from repro.linalg import laplacian_system, sparse_cholesky
+
+    A, b, x_true = laplacian_system(g, rng=np.random.default_rng(seed))
+    perm = np.random.default_rng(seed).permutation(g.nvtxs)
+    x = sparse_cholesky(A, perm).solve(b)
+    assert np.allclose(x, x_true, atol=1e-8)
+
+
+@given(graphs(min_n=2, max_n=20), st.integers(0, 2))
+def test_permute_roundtrip_property(g, seed):
+    from repro.graph import permute_graph
+
+    perm = np.random.default_rng(seed).permutation(g.nvtxs)
+    iperm = np.empty(g.nvtxs, dtype=np.int64)
+    iperm[perm] = np.arange(g.nvtxs)
+    back = permute_graph(permute_graph(g, perm), iperm)
+    assert back.sorted_adjacency() == g.sorted_adjacency()

@@ -1,0 +1,195 @@
+"""Tests for the KL/FM refinement pass and the five policies (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.options import DEFAULT_OPTIONS, RefinePolicy
+from repro.core.refine import PassStats, fm_pass, refine_bisection
+from repro.graph import Bisection, edge_cut, part_weights
+from tests.conftest import (
+    assert_valid_bisection,
+    dumbbell_graph,
+    path_graph,
+    random_graph,
+)
+
+
+def make_state(graph, where):
+    where = np.asarray(where, dtype=np.int8).copy()
+    pwgts = part_weights(graph, where, 2)
+    cut = edge_cut(graph, where)
+    return where, pwgts, cut
+
+
+def loose_caps(graph):
+    cap = int(np.ceil(0.6 * graph.total_vwgt()))
+    return (cap, cap)
+
+
+class TestFmPass:
+    def test_finds_dumbbell_bridge(self):
+        """From a bad split, one pass must recover the bridge cut."""
+        g = dumbbell_graph(k=5)
+        # Bad split: one clique vertex stranded on the wrong side.
+        where = np.array([1] + [0] * 4 + [1] * 5, dtype=np.int8)
+        where, pwgts, cut = make_state(g, where)
+        new_cut, improvement = fm_pass(
+            g, where, pwgts, loose_caps(g), cut,
+            boundary_only=False, early_exit=50,
+        )
+        assert improvement > 0
+        assert new_cut == 1  # exactly the bridge
+        assert edge_cut(g, where) == new_cut
+        assert np.array_equal(part_weights(g, where, 2), pwgts)
+
+    def test_no_move_when_optimal(self):
+        g = dumbbell_graph(k=4)
+        where = np.array([0] * 4 + [1] * 4, dtype=np.int8)
+        where, pwgts, cut = make_state(g, where)
+        new_cut, improvement = fm_pass(
+            g, where, pwgts, loose_caps(g), cut,
+            boundary_only=True, early_exit=50,
+        )
+        assert new_cut == cut == 1
+        assert improvement == 0
+
+    def test_never_worsens_state(self):
+        g = random_graph(50, 0.15, seed=1)
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+            where, pwgts, cut = make_state(g, where)
+            before = cut
+            new_cut, _ = fm_pass(
+                g, where, pwgts, loose_caps(g), cut,
+                boundary_only=False, early_exit=50,
+            )
+            assert new_cut <= before
+            assert edge_cut(g, where) == new_cut
+
+    def test_boundary_pass_consistent(self):
+        g = random_graph(50, 0.15, seed=2)
+        rng = np.random.default_rng(1)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        where, pwgts, cut = make_state(g, where)
+        new_cut, _ = fm_pass(
+            g, where, pwgts, loose_caps(g), cut,
+            boundary_only=True, early_exit=50,
+        )
+        assert edge_cut(g, where) == new_cut
+        assert np.array_equal(part_weights(g, where, 2), pwgts)
+
+    def test_respects_balance_caps(self):
+        # Path with tight caps: no vertex may move if it would overload.
+        g = path_graph(10)
+        where = np.array([0] * 5 + [1] * 5, dtype=np.int8)
+        where, pwgts, cut = make_state(g, where)
+        maxp = (5, 5)  # exactly balanced; any move violates
+        new_cut, improvement = fm_pass(
+            g, where, pwgts, loose_caps(g), cut,
+            boundary_only=False, early_exit=50,
+        )
+        # With loose caps moves may happen; with tight caps they must not.
+        where2 = np.array([0] * 5 + [1] * 5, dtype=np.int8)
+        where2, pwgts2, cut2 = make_state(g, where2)
+        fm_pass(g, where2, pwgts2, maxp, cut2, boundary_only=False, early_exit=50)
+        assert np.abs(pwgts2[0] - pwgts2[1]) <= 0  # still balanced
+        assert max(pwgts2) <= 5
+
+    def test_repairs_overweight_partition(self):
+        """A pass must be able to fix a partition that starts unbalanced."""
+        g = path_graph(12)
+        where = np.zeros(12, dtype=np.int8)
+        where[-1] = 1  # 11 vs 1
+        where, pwgts, cut = make_state(g, where)
+        maxp = (8, 8)
+        fm_pass(g, where, pwgts, maxp, cut, boundary_only=True, early_exit=50)
+        assert pwgts.max() <= 8
+
+    def test_early_exit_limits_futile_moves(self):
+        g = random_graph(80, 0.1, seed=3)
+        rng = np.random.default_rng(2)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        where, pwgts, cut = make_state(g, where)
+        stats = PassStats()
+        fm_pass(
+            g, where, pwgts, loose_caps(g), cut,
+            boundary_only=False, early_exit=3, stats=stats,
+        )
+        # All vertices were seeded but early exit must stop well short of
+        # moving everyone.
+        assert stats.moves_tried < g.nvtxs
+
+
+class TestRefinePolicies:
+    @pytest.mark.parametrize("policy", list(RefinePolicy))
+    def test_policies_preserve_consistency(self, policy):
+        g = random_graph(60, 0.12, seed=4)
+        rng = np.random.default_rng(3)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        b = Bisection.from_where(g, where)
+        before = b.cut
+        refine_bisection(g, b, policy, DEFAULT_OPTIONS)
+        assert_valid_bisection(g, b)
+        if policy is not RefinePolicy.NONE:
+            assert b.cut <= before
+
+    def test_none_is_identity(self):
+        g = random_graph(40, 0.2, seed=5)
+        rng = np.random.default_rng(4)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        b = Bisection.from_where(g, where)
+        snapshot = b.where.copy()
+        refine_bisection(g, b, RefinePolicy.NONE, DEFAULT_OPTIONS)
+        assert np.array_equal(b.where, snapshot)
+
+    def test_klr_at_least_as_good_as_gr(self):
+        g = random_graph(80, 0.1, seed=6)
+        rng1 = np.random.default_rng(5)
+        where = rng1.integers(0, 2, g.nvtxs).astype(np.int8)
+        b_gr = Bisection.from_where(g, where.copy())
+        b_klr = Bisection.from_where(g, where.copy())
+        refine_bisection(g, b_gr, RefinePolicy.GR, DEFAULT_OPTIONS)
+        refine_bisection(g, b_klr, RefinePolicy.KLR, DEFAULT_OPTIONS)
+        assert b_klr.cut <= b_gr.cut
+
+    def test_bklgr_switches_on_boundary_size(self):
+        """With a huge boundary BKLGR must behave like single-pass BGR."""
+        g = random_graph(60, 0.3, seed=7)
+        rng = np.random.default_rng(6)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        b_hybrid = Bisection.from_where(g, where.copy())
+        b_bgr = Bisection.from_where(g, where.copy())
+        options = DEFAULT_OPTIONS.with_(bklgr_boundary_fraction=0.0)
+        refine_bisection(g, b_hybrid, RefinePolicy.BKLGR, options)
+        refine_bisection(g, b_bgr, RefinePolicy.BGR, options)
+        assert b_hybrid.cut == b_bgr.cut
+
+    def test_bklgr_multi_pass_when_boundary_small(self):
+        g = random_graph(60, 0.3, seed=8)
+        rng = np.random.default_rng(7)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        b_hybrid = Bisection.from_where(g, where.copy())
+        b_bklr = Bisection.from_where(g, where.copy())
+        options = DEFAULT_OPTIONS.with_(bklgr_boundary_fraction=1.0)
+        refine_bisection(g, b_hybrid, RefinePolicy.BKLGR, options)
+        refine_bisection(g, b_bklr, RefinePolicy.BKLR, options)
+        assert b_hybrid.cut == b_bklr.cut
+
+    def test_empty_graph_noop(self):
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(0, [])
+        b = Bisection.from_where(g, np.zeros(0, dtype=np.int8))
+        refine_bisection(g, b, RefinePolicy.KLR, DEFAULT_OPTIONS)
+        assert b.cut == 0
+
+    def test_stats_accumulate(self):
+        g = random_graph(60, 0.12, seed=9)
+        rng = np.random.default_rng(8)
+        where = rng.integers(0, 2, g.nvtxs).astype(np.int8)
+        b = Bisection.from_where(g, where)
+        stats = PassStats()
+        refine_bisection(g, b, RefinePolicy.KLR, DEFAULT_OPTIONS, stats=stats)
+        assert stats.moves_tried >= stats.moves_kept >= 0
+        assert stats.improvement >= 0

@@ -1,0 +1,102 @@
+"""Tests for greedy vertex-separator refinement."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import (
+    build_labelling,
+    is_valid_separator_labelling,
+    refine_vertex_separator,
+    separator_weight,
+    vertex_separator_from_bisection,
+)
+from repro.ordering.separator_refine import SEPARATOR, SIDE_A, SIDE_B
+from tests.conftest import path_graph, random_graph
+
+
+def labelled_partition(graph, where, seed=0):
+    sep = vertex_separator_from_bisection(graph, where)
+    return build_labelling(graph, where, sep)
+
+
+class TestInvariantChecker:
+    def test_valid_labelling(self):
+        g = path_graph(5)
+        where3 = np.array([0, 0, 2, 1, 1])
+        assert is_valid_separator_labelling(g, where3)
+
+    def test_invalid_labelling(self):
+        g = path_graph(3)
+        assert not is_valid_separator_labelling(g, np.array([0, 1, 1]))
+
+    def test_separator_weight(self):
+        from repro.graph import from_edge_list
+
+        g = from_edge_list(3, [(0, 1), (1, 2)], vwgt=[1, 5, 1])
+        assert separator_weight(g, np.array([0, 2, 1])) == 5
+
+
+class TestRefinement:
+    def test_removes_redundant_separator_vertex(self):
+        # Path 0-1-2-3-4 with separator {1, 2}: vertex 1 has no neighbour
+        # on side B once 2 separates, so refinement must shrink to one.
+        g = path_graph(5)
+        where3 = np.array([0, 2, 2, 1, 1])
+        refine_vertex_separator(g, where3, np.random.default_rng(0))
+        assert is_valid_separator_labelling(g, where3)
+        assert (where3 == SEPARATOR).sum() == 1
+
+    def test_never_grows_separator(self):
+        for seed in range(5):
+            g = random_graph(60, 0.1, seed=seed, connected=True)
+            rng = np.random.default_rng(seed)
+            where = rng.integers(0, 2, g.nvtxs)
+            where3 = labelled_partition(g, where)
+            before = separator_weight(g, where3)
+            refine_vertex_separator(g, where3, np.random.default_rng(1))
+            assert separator_weight(g, where3) <= before
+            assert is_valid_separator_labelling(g, where3)
+
+    def test_respects_weight_caps(self):
+        g = path_graph(10)
+        # Separator at 5; everything left side A.
+        where3 = np.full(10, SIDE_A, dtype=np.int8)
+        where3[5] = SEPARATOR
+        where3[6:] = SIDE_B
+        cap = (5, 5)
+        refine_vertex_separator(g, where3, np.random.default_rng(0), maxpwgt=cap)
+        assert is_valid_separator_labelling(g, where3)
+        assert int(g.vwgt[where3 == SIDE_A].sum()) <= 5
+
+    def test_empty_separator_noop(self):
+        from tests.conftest import two_triangles
+
+        g = two_triangles()
+        where3 = np.array([0, 0, 0, 1, 1, 1], dtype=np.int8)
+        out = refine_vertex_separator(g, where3, np.random.default_rng(0))
+        assert np.array_equal(out, [0, 0, 0, 1, 1, 1])
+
+    def test_grid_separator_stays_near_row(self, grid8):
+        where = np.zeros(64, dtype=np.int8)
+        where[32:] = 1
+        where3 = labelled_partition(grid8, where)
+        refine_vertex_separator(grid8, where3, np.random.default_rng(0))
+        assert is_valid_separator_labelling(grid8, where3)
+        # A straight grid row (8 vertices) is already optimal.
+        assert (where3 == SEPARATOR).sum() == 8
+
+    def test_mlnd_with_refinement_not_worse(self):
+        from repro.matrices import grid2d
+        from repro.ordering import factor_stats, mlnd_ordering
+
+        g = grid2d(18, 18)
+        plain = mlnd_ordering(
+            g, rng=np.random.default_rng(1), refine_separator=False
+        )
+        refined = mlnd_ordering(
+            g, rng=np.random.default_rng(1), refine_separator=True
+        )
+        refined.verify()
+        ops_plain = factor_stats(g, plain.perm).opcount
+        ops_ref = factor_stats(g, refined.perm).opcount
+        assert ops_ref <= ops_plain * 1.1

@@ -1,0 +1,71 @@
+"""Tests for the benchmark suite registry."""
+
+import pytest
+
+from repro.graph import is_connected, validate_graph
+from repro.matrices import SUITE, load, suite_names
+from repro.matrices.suite import (
+    FIGURE_MATRICES,
+    ORDERING_MATRICES,
+    TABLE_MATRICES,
+    _CACHE,
+)
+
+
+class TestRegistry:
+    def test_all_24_table1_matrices_present(self):
+        assert len(SUITE) == 24
+        for must in ("BCSSTK31", "4ELT", "MAP", "MEMPLUS", "TROLL", "BCSPWR10"):
+            assert must in SUITE
+
+    def test_experiment_subsets_are_registered(self):
+        for subset in (TABLE_MATRICES, FIGURE_MATRICES, ORDERING_MATRICES):
+            for name in subset:
+                assert name in SUITE
+
+    def test_subset_sizes_match_paper(self):
+        assert len(TABLE_MATRICES) == 12
+        assert len(FIGURE_MATRICES) == 16
+        assert len(ORDERING_MATRICES) == 18
+
+    def test_suite_names_order(self):
+        names = suite_names()
+        assert names[0] == "BCSSTK28"
+        assert len(names) == 24
+
+    def test_entries_record_paper_orders(self):
+        assert SUITE["BCSPWR10"].paper_order == 5300
+        assert SUITE["MAP"].paper_order == 267241
+        assert SUITE["LSHP3466"].description == "Graded L-shape pattern"
+
+
+class TestLoad:
+    def test_load_by_name_and_short(self):
+        a = load("LSHP3466", scale=0.2)
+        b = load("LS34", scale=0.2)
+        assert a is b  # same cache entry
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown suite matrix"):
+            load("NOPE")
+
+    def test_scale_shrinks(self):
+        small = load("4ELT", scale=0.1, cache=False)
+        big = load("4ELT", scale=0.3, cache=False)
+        assert small.nvtxs < big.nvtxs
+
+    def test_cache_behaviour(self):
+        _CACHE.clear()
+        a = load("BCSPWR10", scale=0.1)
+        b = load("BCSPWR10", scale=0.1)
+        assert a is b
+        c = load("BCSPWR10", scale=0.1, cache=False)
+        assert c is not a
+
+    @pytest.mark.parametrize("name", ["4ELT", "BCSPWR10", "MEMPLUS", "FINAN512",
+                                      "BCSSTK28", "MAP"])
+    def test_small_scale_loads_are_valid(self, name):
+        g = load(name, scale=0.15, cache=False)
+        validate_graph(g)
+        assert is_connected(g)
+        assert g.nvtxs >= 16
