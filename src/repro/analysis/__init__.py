@@ -1,0 +1,49 @@
+"""Correctness tooling: static lint pass + runtime invariant sanitizer.
+
+Production partitioners ship correctness tooling alongside the algorithms —
+METIS has ``CheckGraph`` and graded debug levels, KaHIP a hierarchy of
+assertion tiers — because the multilevel machinery fails *silently*: a
+wrong gain update or a non-conserving contraction produces a plausible but
+suboptimal cut, not a crash.  This package is that tooling for
+:mod:`repro`:
+
+* **Static lint** (:mod:`repro.analysis.engine`,
+  :mod:`repro.analysis.rules`) — an AST rule engine with eight
+  repo-specific rules (``RP001`` … ``RP008``) covering seeded randomness,
+  CSR immutability, exception discipline, exact cut arithmetic, the
+  ``ReproError`` hierarchy, stdout hygiene, ``__all__`` declarations, and
+  paper-section citations.  Run it with ``python -m repro.analysis`` /
+  ``repro lint``.
+* **Runtime sanitizer** (:mod:`repro.analysis.sanitize`) — O(n + m)
+  invariant checkers hooked into every phase boundary of the multilevel
+  pipeline, enabled with ``REPRO_SANITIZE=1`` or
+  ``MultilevelOptions(sanitize=True)``, and free when disabled.
+
+See ``docs/ANALYSIS.md`` for the rule table, suppression syntax, and
+measured sanitizer overhead.
+"""
+
+from repro.analysis.engine import Finding, format_findings, lint_file, lint_paths
+from repro.analysis.rules import RULES, default_rules, rule_table
+from repro.analysis.sanitize import (
+    NullSanitizer,
+    Sanitizer,
+    SanitizerError,
+    sanitize_enabled,
+    sanitizer,
+)
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_file",
+    "format_findings",
+    "RULES",
+    "default_rules",
+    "rule_table",
+    "Sanitizer",
+    "NullSanitizer",
+    "SanitizerError",
+    "sanitizer",
+    "sanitize_enabled",
+]

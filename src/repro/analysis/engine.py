@@ -1,0 +1,207 @@
+"""The lint engine: file discovery, rule dispatch, suppression, reporting.
+
+The engine is deliberately small and dependency-free (stdlib ``ast`` only):
+it parses each file once, hands the tree to every registered rule, filters
+findings through the per-line suppression table, and formats the survivors
+as ``path:line:col: RPxxx message`` — the shape editors and CI annotate.
+
+Suppression syntax
+------------------
+A finding on line L is suppressed by a comment on that line::
+
+    risky_call()  # repro: noqa[RP001]
+    other_call()  # repro: noqa[RP001,RP004]
+    anything()    # repro: noqa
+
+The bare form suppresses every rule on the line; the bracketed form only
+the listed ids.  Suppressions should carry a justification in the
+surrounding comment — the point is an audited exception, not an off switch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.sections import find_paper_md, load_sections
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "lint_paths",
+    "lint_file",
+    "format_findings",
+]
+
+#: Rule id used for files the engine cannot parse at all.
+PARSE_ERROR_ID = "RP000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel stored in the suppression table for a bare ``# repro: noqa``.
+SUPPRESS_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, sortable into report order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RPxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.AST
+    #: Path components of ``path`` (used for location-based exemptions such
+    #: as "``graph/`` may mutate CSR arrays").
+    parts: tuple = ()
+    #: Valid paper section numbers, or ``None`` when no PAPER.md was found
+    #: (RP008 then skips).
+    sections: set | None = None
+    #: line number → set of suppressed rule ids (or ``{"*"}`` for all).
+    suppressions: dict = field(default_factory=dict)
+
+    def finding(self, node_or_line, rule_id, message, col=None) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node or line number."""
+        if hasattr(node_or_line, "lineno"):
+            line = node_or_line.lineno
+            col = node_or_line.col_offset + 1 if col is None else col
+        else:
+            line = int(node_or_line)
+            col = 1 if col is None else col
+        return Finding(str(self.path), line, col, rule_id, message)
+
+
+def collect_suppressions(source: str) -> dict:
+    """Per-line suppression table from ``# repro: noqa[...]`` comments."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        ids = m.group("ids")
+        if ids is None:
+            table[lineno] = {SUPPRESS_ALL}
+        else:
+            table[lineno] = {
+                token.strip().upper() for token in ids.split(",") if token.strip()
+            }
+    return table
+
+
+def is_suppressed(finding: Finding, suppressions: dict) -> bool:
+    """Whether the suppression table silences ``finding``."""
+    ids = suppressions.get(finding.line)
+    if not ids:
+        return False
+    return SUPPRESS_ALL in ids or finding.rule_id.upper() in ids
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = []
+    seen_set = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            if c not in seen_set:
+                seen_set.add(c)
+                seen.append(c)
+    return seen
+
+
+def lint_file(path, rules, sections=None) -> list:
+    """Run every rule over one file; returns unsuppressed findings."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [Finding(str(path), 1, 1, PARSE_ERROR_ID, f"cannot read file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                str(path),
+                exc.lineno or 1,
+                (exc.offset or 1),
+                PARSE_ERROR_ID,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        parts=path.parts,
+        sections=sections,
+        suppressions=collect_suppressions(source),
+    )
+    findings = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return sorted(
+        (f for f in findings if not is_suppressed(f, ctx.suppressions)),
+        key=Finding.sort_key,
+    )
+
+
+def lint_paths(paths, rules=None, paper=None) -> list:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories (directories are walked recursively).
+    rules:
+        Rule instances; defaults to the full repo rule set
+        (:func:`repro.analysis.rules.default_rules`).
+    paper:
+        Explicit ``PAPER.md`` path for the RP008 section index; when
+        omitted it is discovered by walking up from the first path.
+
+    Returns
+    -------
+    list[Finding]
+        All unsuppressed findings, in report order.
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    files = iter_python_files(paths)
+    if paper is None and files:
+        paper = find_paper_md(files[0])
+    sections = load_sections(paper) if paper else None
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, rules, sections))
+    return findings
+
+
+def format_findings(findings) -> str:
+    """Human/CI-readable report, one finding per line."""
+    return "\n".join(f.format() for f in findings)

@@ -1,0 +1,505 @@
+"""The repo-specific lint rules (``RP001`` … ``RP008``).
+
+Each rule encodes an idiom this codebase relies on for *correctness* — the
+delicate incremental machinery of the multilevel pipeline fails silently
+(plausible but wrong cuts) rather than loudly, so the conventions below are
+load-bearing, not stylistic:
+
+========  ============================================================
+RP001     randomness must be seeded and threaded through
+          :mod:`repro.utils.rng` (determinism of every experiment)
+RP002     CSR arrays (``xadj``/``adjncy``/``adjwgt``/``vwgt``) are
+          immutable outside ``graph/`` (algorithms share views)
+RP003     no bare ``except:`` / no silently-swallowed ``except
+          Exception`` (invariant violations must surface)
+RP004     no ``==``/``!=`` on float literals or gain/cut values
+          (cut arithmetic is exact integer arithmetic)
+RP005     raised exceptions derive from ``ReproError`` (callers catch
+          the library with one clause)
+RP006     no ``print()`` in library code (CLI and bench excepted)
+RP007     package ``__init__`` modules declare ``__all__``
+RP008     ``§N.M`` docstring citations must exist in ``PAPER.md``
+========  ============================================================
+
+Suppress a deliberate exception with ``# repro: noqa[RPxxx]`` plus a
+justification comment (see :mod:`repro.analysis.engine`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["Rule", "default_rules", "RULES", "rule_table"]
+
+#: The CSR array attribute names protected by RP002.
+CSR_ARRAYS = frozenset({"xadj", "adjncy", "adjwgt", "vwgt"})
+
+#: ``np.random`` attributes that are part of the seeded Generator API; any
+#: other attribute is the legacy global-state API and non-deterministic.
+_SEEDED_RANDOM_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Builtins that legitimately signal *programming* errors per Python
+#: protocol (attribute lookup, argument types, abstract methods) and are
+#: therefore exempt from RP005.
+_PROTOCOL_EXCEPTIONS = frozenset(
+    {"TypeError", "AttributeError", "NotImplementedError", "StopIteration"}
+)
+
+#: Builtin exception names whose raise sites RP005 flags.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "FloatingPointError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "ReferenceError",
+        "RuntimeError",
+        "SystemError",
+        "UnboundLocalError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name``/``summary`` and ``check``."""
+
+    id = "RP000"
+    name = "base"
+    summary = ""
+
+    def check(self, ctx):
+        """Yield :class:`~repro.analysis.engine.Finding` objects for ``ctx``."""
+        raise NotImplementedError
+
+
+def _is_np_random(node) -> bool:
+    """Whether ``node`` is the expression ``np.random`` / ``numpy.random``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _operand_name(node):
+    """Identifier of a Name/Attribute operand, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class SeededRandomRule(Rule):
+    """RP001 — unseeded or literal-seeded randomness outside utils/rng.py.
+
+    Every experiment in the paper runs with a fixed, *threaded* seed.  The
+    repo idiom is: public entry points accept ``seed``/``rng`` and convert
+    once via :func:`repro.utils.rng.as_generator`; internal code only ever
+    receives ``Generator`` objects.  Flagged:
+
+    * ``np.random.default_rng()`` with no argument — fresh entropy, the
+      run is unreproducible;
+    * ``np.random.default_rng(<literal>)`` — a hard-coded seed severs the
+      caller's seed thread (results stop responding to ``seed=``);
+    * any legacy ``np.random.<fn>`` global-state call (``rand``,
+      ``shuffle``, ``seed``, …).
+    """
+
+    id = "RP001"
+    name = "seeded-random"
+    summary = "unseeded/hard-coded RNG outside utils/rng.py"
+
+    def check(self, ctx):
+        if len(ctx.parts) >= 2 and ctx.parts[-2:] == ("utils", "rng.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute) or not _is_np_random(node.value):
+                continue
+            if node.attr not in _SEEDED_RANDOM_API:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"legacy global-state RNG call np.random.{node.attr}; "
+                    "thread a Generator via repro.utils.rng.as_generator",
+                )
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "default_rng"
+                and _is_np_random(node.func.value)
+            ):
+                continue
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "unseeded np.random.default_rng(): run is not "
+                    "reproducible; accept a seed/rng parameter and use "
+                    "repro.utils.rng.as_generator",
+                )
+            elif node.args and isinstance(node.args[0], ast.Constant):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "hard-coded seed "
+                    f"np.random.default_rng({node.args[0].value!r}) ignores "
+                    "the caller's seed; thread a seed/rng parameter through "
+                    "repro.utils.rng.as_generator",
+                )
+
+
+class CSRMutationRule(Rule):
+    """RP002 — mutation of CSR arrays outside ``graph/``.
+
+    ``CSRGraph`` is immutable by convention: algorithms alias its arrays
+    (``xadj = graph.xadj``) and share views across hierarchy levels, so an
+    in-place write anywhere corrupts every holder of the graph.  Only the
+    ``graph/`` package (the constructors and the contraction kernel) may
+    write to arrays named ``xadj``/``adjncy``/``adjwgt``/``vwgt``.
+    """
+
+    id = "RP002"
+    name = "csr-immutable"
+    summary = "CSR array mutated outside graph/"
+
+    def check(self, ctx):
+        if "graph" in ctx.parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_target(ctx, target)
+
+    def _check_target(self, ctx, target):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._check_target(ctx, elt)
+            return
+        if isinstance(target, ast.Starred):
+            yield from self._check_target(ctx, target.value)
+            return
+        if isinstance(target, ast.Subscript):
+            name = _operand_name(target.value)
+            if name in CSR_ARRAYS:
+                yield ctx.finding(
+                    target,
+                    self.id,
+                    f"in-place write to CSR array {name!r}; CSR graphs are "
+                    "immutable outside graph/ — build a new graph instead",
+                )
+        elif isinstance(target, ast.Attribute) and target.attr in CSR_ARRAYS:
+            yield ctx.finding(
+                target,
+                self.id,
+                f"rebinding CSR attribute .{target.attr}; CSR graphs are "
+                "immutable outside graph/ — construct a new CSRGraph",
+            )
+
+
+class ExceptionSwallowRule(Rule):
+    """RP003 — bare ``except:`` or swallowed ``except Exception``.
+
+    The sanitizer and validators communicate exclusively through
+    exceptions; a handler that catches everything and does not re-raise
+    turns an invariant violation into a silent wrong answer.
+    """
+
+    id = "RP003"
+    name = "no-swallow"
+    summary = "bare except / except Exception without re-raise"
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "bare 'except:' swallows everything including "
+                    "SanitizerError; catch a specific exception",
+                )
+                continue
+            names = []
+            types = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            for t in types:
+                name = _operand_name(t)
+                if name in self._BROAD:
+                    names.append(name)
+            if names and not any(
+                isinstance(inner, ast.Raise) for inner in ast.walk(node)
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"'except {names[0]}' without re-raise swallows "
+                    "library errors; catch a ReproError subclass or "
+                    "re-raise",
+                )
+
+
+class FloatEqualityRule(Rule):
+    """RP004 — ``==``/``!=`` against float literals or on gain/cut values.
+
+    Edge-cut arithmetic is exact *integer* arithmetic (the paper's weights
+    are integral and coarsening only sums them); a float creeping into a
+    gain or cut comparison makes refinement decisions platform-dependent.
+    Flagged: equality comparisons with a float literal operand, and
+    equality between two operands whose names mention gain/cut (if both
+    really are ints, suppress with a justified noqa).
+    """
+
+    id = "RP004"
+    name = "exact-compare"
+    summary = "float == / equality on gain-cut values"
+
+    _KEYWORDS = ("gain", "cut")
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"equality comparison with float literal "
+                        f"{operand.value!r}; cut/gain arithmetic must stay "
+                        "integral (or compare with an explicit tolerance)",
+                    )
+                    break
+            else:
+                named = [
+                    n
+                    for n in map(_operand_name, operands)
+                    if n and any(k in n.lower() for k in self._KEYWORDS)
+                ]
+                if len(named) >= 2:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"equality comparison on gain/cut values "
+                        f"({', '.join(named)}); ensure both sides are exact "
+                        "integers (suppress with a justified noqa if so)",
+                    )
+
+
+class ErrorHierarchyRule(Rule):
+    """RP005 — raised exceptions must derive from ``ReproError``.
+
+    Callers catch everything the library may raise with one
+    ``except ReproError`` clause.  Raising a builtin (``ValueError``,
+    ``KeyError``, …) punches a hole in that contract.  ``TypeError``,
+    ``AttributeError``, ``NotImplementedError`` and ``StopIteration`` are
+    exempt: Python protocol semantics require those exact types.
+    """
+
+    id = "RP005"
+    name = "error-hierarchy"
+    summary = "builtin exception raised instead of a ReproError"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = _operand_name(exc)
+            if name in _BUILTIN_EXCEPTIONS and name not in _PROTOCOL_EXCEPTIONS:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"raises builtin {name}; raise a ReproError subclass "
+                    "(see repro.utils.errors, e.g. ConfigurationError) so "
+                    "callers can catch the library with one clause",
+                )
+
+
+class NoPrintRule(Rule):
+    """RP006 — no ``print()`` in library code.
+
+    Library output belongs to the caller; stray prints corrupt the CLI's
+    machine-readable output and pollute pytest.  The CLI front-ends
+    (``cli.py``, ``__main__.py``) and the bench/reporting layers are
+    exempt — writing to stdout is their job.
+    """
+
+    id = "RP006"
+    name = "no-print"
+    summary = "print() in library code"
+
+    _EXEMPT_FILES = frozenset({"cli.py", "__main__.py"})
+    _EXEMPT_DIRS = frozenset({"bench", "benchmarks"})
+
+    def check(self, ctx):
+        if ctx.parts and ctx.parts[-1] in self._EXEMPT_FILES:
+            return
+        if self._EXEMPT_DIRS.intersection(ctx.parts):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "print() in library code; return values or raise — "
+                    "only cli/bench layers own stdout",
+                )
+
+
+class DunderAllRule(Rule):
+    """RP007 — package ``__init__`` modules must declare ``__all__``.
+
+    The ``__init__`` modules are the public API surface; an explicit
+    ``__all__`` keeps re-exports deliberate and lets the API doc stay in
+    sync.  Only ``__init__.py`` files with actual content (imports or
+    definitions) are required to declare one.
+    """
+
+    id = "RP007"
+    name = "declare-all"
+    summary = "public package __init__ without __all__"
+
+    def check(self, ctx):
+        if not ctx.parts or ctx.parts[-1] != "__init__.py":
+            return
+        has_content = False
+        for node in ctx.tree.body:
+            if isinstance(
+                node,
+                (
+                    ast.Import,
+                    ast.ImportFrom,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                ),
+            ):
+                has_content = True
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name) and t.id == "__all__":
+                        return
+                has_content = True
+        if has_content:
+            yield ctx.finding(
+                1,
+                self.id,
+                "public package __init__ defines names but no __all__; "
+                "declare the intended export surface",
+            )
+
+
+class PaperSectionRule(Rule):
+    """RP008 — ``§N.M`` docstring citations must exist in PAPER.md.
+
+    Docstrings ground every algorithm in the paper ("the coarsening phase
+    (§3.1)"); a citation to a non-existent section means the docstring and
+    the paper drifted apart.  Skipped when no ``PAPER.md`` is found.
+    """
+
+    id = "RP008"
+    name = "paper-section"
+    summary = "docstring cites a paper section missing from PAPER.md"
+
+    def check(self, ctx):
+        from repro.analysis.sections import section_tokens
+
+        if ctx.sections is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue
+            doc = ast.get_docstring(node, clean=False)
+            if not doc:
+                continue
+            doc_node = node.body[0].value
+            for offset, text in enumerate(doc.splitlines()):
+                for token in sorted(section_tokens(text)):
+                    if token not in ctx.sections:
+                        line = getattr(doc_node, "lineno", 1) + offset
+                        yield ctx.finding(
+                            line,
+                            self.id,
+                            f"docstring cites §{token}, which PAPER.md does "
+                            "not declare; fix the citation or update the "
+                            "section outline",
+                        )
+
+
+#: The full rule set, in id order.
+RULES = (
+    SeededRandomRule,
+    CSRMutationRule,
+    ExceptionSwallowRule,
+    FloatEqualityRule,
+    ErrorHierarchyRule,
+    NoPrintRule,
+    DunderAllRule,
+    PaperSectionRule,
+)
+
+
+def default_rules():
+    """Fresh instances of every registered rule, in id order."""
+    return [cls() for cls in RULES]
+
+
+def rule_table():
+    """``(id, name, summary)`` rows for docs and ``--list-rules``."""
+    return [(cls.id, cls.name, cls.summary) for cls in RULES]

@@ -1,0 +1,384 @@
+"""Runtime invariant sanitizer for the multilevel pipeline.
+
+The multilevel machinery is incremental by design: matchings drive
+contractions, contractions conserve weights (§3.1), and FM refinement
+maintains gains, degrees and the running cut move by move (§3.3).  A silent
+off-by-one in any of that bookkeeping produces a *plausible but wrong*
+partition rather than a crash — exactly the failure mode production
+partitioners guard with toggleable assertion tiers (METIS's ``CheckGraph``
+and debug levels, KaHIP's assertion hierarchy).
+
+This module is that tier for :mod:`repro`.  Every checker is O(n + m), runs
+at a phase boundary (once per level, never per move), and raises
+:class:`~repro.utils.errors.SanitizerError` naming the phase and level where
+the invariant broke.
+
+Enabling
+--------
+Off by default.  Enable with either:
+
+* the environment variable ``REPRO_SANITIZE=1`` (checked per pipeline
+  entry; ``0``/``false``/empty disable), or
+* ``MultilevelOptions(sanitize=True)`` / ``options.with_(sanitize=True)``.
+
+When disabled, :func:`sanitizer` returns a falsy null object and the hooks
+in the pipeline are ``if san: san.check_…`` guards, so the disabled cost is
+one truth test per phase boundary and **zero** checker calls.
+
+Checked invariants
+------------------
+* **matching** — the matching is a valid involution, every matched pair is
+  a real edge (no matched self-pairs), and the matching is maximal;
+* **contraction** — vertex weight is conserved per multinode and in total,
+  and coarse edge weight equals fine edge weight minus the collapsed
+  (intra-multinode) weight, i.e. non-cut edge weight is conserved;
+* **initial / project** — the bisection assignment is a 0/1 array, both
+  sides are non-empty, and the stored ``pwgts``/``cut`` equal a
+  from-scratch recomputation (projection must preserve the cut exactly);
+* **refine** — the incrementally-maintained external/internal degree
+  arrays (hence all gains and the implicit boundary set) and the running
+  cut equal a from-scratch recomputation;
+* **kway-refine** — the k-way assignment is in range and the incrementally
+  maintained ``pwgts``/``cut`` match a recomputation;
+* **separator** — a nested-dissection separator actually separates: the
+  three sets partition the vertices and no edge joins the two sides.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.utils.errors import SanitizerError
+
+__all__ = [
+    "Sanitizer",
+    "NullSanitizer",
+    "sanitizer",
+    "sanitize_enabled",
+    "SanitizerError",
+]
+
+#: Environment variable that force-enables (``1``) the sanitizer.
+ENV_VAR = "REPRO_SANITIZE"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitizing (read per call)."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def sanitizer(options=None):
+    """Return the sanitizer selected by ``options`` and the environment.
+
+    Parameters
+    ----------
+    options:
+        Anything with a boolean ``sanitize`` attribute (normally a
+        :class:`~repro.core.options.MultilevelOptions`), or ``None`` to
+        consult only the environment.
+
+    Returns
+    -------
+    Sanitizer | NullSanitizer
+        The active singleton when enabled; the falsy null singleton
+        otherwise.  Call sites guard with ``if san:`` so the disabled path
+        performs no checker calls at all.
+    """
+    if (options is not None and getattr(options, "sanitize", False)) or (
+        sanitize_enabled()
+    ):
+        return ACTIVE
+    return NULL
+
+
+def _fail(message, *, phase, level=None):
+    raise SanitizerError(message, phase=phase, level=level)
+
+
+def _directed_src(graph) -> np.ndarray:
+    """Source vertex of every directed CSR edge (O(m))."""
+    return np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+
+
+class Sanitizer:
+    """The active invariant checker set (every method O(n + m))."""
+
+    enabled = True
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # coarsening
+    # ------------------------------------------------------------------
+    def check_matching(self, graph, match, *, level=None) -> None:
+        """Validate a matching produced by the coarsening phase (§3.1)."""
+        phase = "matching"
+        match = np.asarray(match)
+        n = graph.nvtxs
+        ident = np.arange(n, dtype=match.dtype)
+        if len(match) != n:
+            _fail(
+                f"matching has {len(match)} entries for {n} vertices",
+                phase=phase, level=level,
+            )
+        if match.min(initial=0) < 0 or match.max(initial=-1) >= max(n, 1):
+            _fail("matching contains out-of-range vertex ids",
+                  phase=phase, level=level)
+        invol = match[match] == ident
+        if not invol.all():
+            v = int(np.flatnonzero(~invol)[0])
+            _fail(
+                f"matching is not an involution at vertex {v}: "
+                f"match[{v}]={int(match[v])} but "
+                f"match[{int(match[v])}]={int(match[int(match[v])])}",
+                phase=phase, level=level,
+            )
+        # Every matched pair must be joined by a real edge (in particular a
+        # vertex can never be "matched with itself" through a self-loop).
+        src = _directed_src(graph)
+        hit = match[src] == graph.adjncy
+        has_edge_to_mate = np.zeros(n, dtype=bool)
+        has_edge_to_mate[src[hit]] = True
+        matched = match != ident
+        bad = matched & ~has_edge_to_mate
+        if bad.any():
+            v = int(np.flatnonzero(bad)[0])
+            _fail(
+                f"vertex {v} is matched with {int(match[v])} but shares no "
+                "edge with it",
+                phase=phase, level=level,
+            )
+        # Maximality: no edge may join two unmatched vertices.
+        unmatched = ~matched
+        loose = unmatched[src] & unmatched[graph.adjncy]
+        if loose.any():
+            i = int(np.flatnonzero(loose)[0])
+            _fail(
+                f"matching is not maximal: edge ({int(src[i])}, "
+                f"{int(graph.adjncy[i])}) joins two unmatched vertices",
+                phase=phase, level=level,
+            )
+
+    def check_contraction(self, fine, coarse, cmap, *, level=None) -> None:
+        """Validate weight conservation across one contraction (§3.1)."""
+        phase = "contraction"
+        cmap = np.asarray(cmap)
+        nc = coarse.nvtxs
+        if len(cmap) != fine.nvtxs:
+            _fail(
+                f"coarse map has {len(cmap)} entries for {fine.nvtxs} "
+                "fine vertices",
+                phase=phase, level=level,
+            )
+        if cmap.min(initial=0) < 0 or cmap.max(initial=-1) >= max(nc, 1):
+            _fail("coarse map contains out-of-range multinode ids",
+                  phase=phase, level=level)
+        expect_vwgt = np.bincount(cmap, weights=fine.vwgt, minlength=nc)
+        if not np.array_equal(expect_vwgt.astype(np.int64), coarse.vwgt):
+            v = int(np.flatnonzero(expect_vwgt != coarse.vwgt)[0])
+            _fail(
+                f"vertex weight not conserved at multinode {v}: expected "
+                f"{int(expect_vwgt[v])}, coarse graph has "
+                f"{int(coarse.vwgt[v])}",
+                phase=phase, level=level,
+            )
+        src = _directed_src(fine)
+        internal = cmap[src] == cmap[fine.adjncy]
+        collapsed = int(fine.adjwgt[internal].sum()) // 2
+        expect_w = fine.total_adjwgt() - collapsed
+        got_w = coarse.total_adjwgt()
+        if got_w != expect_w:
+            _fail(
+                f"edge weight not conserved: W(E_fine)={fine.total_adjwgt()}"
+                f" minus collapsed {collapsed} should give {expect_w}, "
+                f"coarse graph carries {got_w}",
+                phase=phase, level=level,
+            )
+        csrc = _directed_src(coarse)
+        if len(coarse.adjncy) and np.any(csrc == coarse.adjncy):
+            v = int(csrc[np.flatnonzero(csrc == coarse.adjncy)[0]])
+            _fail(f"coarse graph has a self-loop at multinode {v}",
+                  phase=phase, level=level)
+
+    # ------------------------------------------------------------------
+    # bisection state (initial partition / projection)
+    # ------------------------------------------------------------------
+    def check_bisection(
+        self, graph, where, pwgts, cut, *, phase="project", level=None
+    ) -> None:
+        """Validate a bisection state against a from-scratch recomputation."""
+        from repro.graph.partition import edge_cut, part_weights
+
+        where = np.asarray(where)
+        if len(where) != graph.nvtxs:
+            _fail(
+                f"partition vector has {len(where)} entries for "
+                f"{graph.nvtxs} vertices",
+                phase=phase, level=level,
+            )
+        if graph.nvtxs and not np.isin(where, (0, 1)).all():
+            v = int(np.flatnonzero(~np.isin(where, (0, 1)))[0])
+            _fail(
+                f"partition is not 0/1: where[{v}]={int(where[v])}",
+                phase=phase, level=level,
+            )
+        if graph.nvtxs >= 2 and (not (where == 0).any() or not (where == 1).any()):
+            _fail("one side of the bisection is empty", phase=phase, level=level)
+        true_pwgts = part_weights(graph, where, 2)
+        if not np.array_equal(np.asarray(pwgts, dtype=np.int64), true_pwgts):
+            _fail(
+                f"part weights drifted: stored {list(map(int, pwgts))}, "
+                f"recomputed {true_pwgts.tolist()}",
+                phase=phase, level=level,
+            )
+        true_cut = edge_cut(graph, where)
+        if int(cut) != true_cut:
+            _fail(
+                f"cut drifted: stored {int(cut)}, recomputed {true_cut}",
+                phase=phase, level=level,
+            )
+
+    # ------------------------------------------------------------------
+    # refinement
+    # ------------------------------------------------------------------
+    def check_degrees(
+        self, graph, where, ed, id_, cut, *, phase="refine", level=None
+    ) -> None:
+        """Validate incrementally-maintained degrees/gains/boundary (§3.3).
+
+        ``ed``/``id_`` are the external/internal degree arrays a refinement
+        pass maintains move by move; the gain of every vertex is
+        ``ed − id`` and the boundary set is ``ed > 0``, so checking the
+        arrays checks both derived structures.
+        """
+        from repro.core.gains import external_internal_degrees
+        from repro.graph.partition import edge_cut
+
+        true_ed, true_id = external_internal_degrees(graph, where)
+        if not np.array_equal(np.asarray(ed), true_ed):
+            v = int(np.flatnonzero(np.asarray(ed) != true_ed)[0])
+            _fail(
+                f"external degree of vertex {v} drifted: maintained "
+                f"{int(ed[v])}, recomputed {int(true_ed[v])} "
+                f"(gain off by {int(ed[v]) - int(true_ed[v])})",
+                phase=phase, level=level,
+            )
+        if not np.array_equal(np.asarray(id_), true_id):
+            v = int(np.flatnonzero(np.asarray(id_) != true_id)[0])
+            _fail(
+                f"internal degree of vertex {v} drifted: maintained "
+                f"{int(id_[v])}, recomputed {int(true_id[v])}",
+                phase=phase, level=level,
+            )
+        true_cut = edge_cut(graph, where)
+        if int(cut) != true_cut:
+            _fail(
+                f"running cut drifted during refinement: maintained "
+                f"{int(cut)}, recomputed {true_cut}",
+                phase=phase, level=level,
+            )
+
+    def check_kway(
+        self, graph, where, pwgts, cut, nparts, *, phase="kway-refine"
+    ) -> None:
+        """Validate an incrementally-maintained k-way partition state."""
+        from repro.graph.partition import edge_cut, part_weights
+
+        where = np.asarray(where)
+        if graph.nvtxs and (where.min() < 0 or where.max() >= nparts):
+            v = int(np.flatnonzero((where < 0) | (where >= nparts))[0])
+            _fail(
+                f"part id out of range: where[{v}]={int(where[v])} "
+                f"with k={nparts}",
+                phase=phase,
+            )
+        true_pwgts = part_weights(graph, where, nparts)
+        if not np.array_equal(np.asarray(pwgts, dtype=np.int64), true_pwgts):
+            p = int(np.flatnonzero(np.asarray(pwgts) != true_pwgts)[0])
+            _fail(
+                f"weight of part {p} drifted: maintained "
+                f"{int(pwgts[p])}, recomputed {int(true_pwgts[p])}",
+                phase=phase,
+            )
+        true_cut = edge_cut(graph, where)
+        if int(cut) != true_cut:
+            _fail(
+                f"running cut drifted: maintained {int(cut)}, "
+                f"recomputed {true_cut}",
+                phase=phase,
+            )
+
+    # ------------------------------------------------------------------
+    # nested dissection
+    # ------------------------------------------------------------------
+    def check_separator(self, graph, a_ids, b_ids, sep, *, level=None) -> None:
+        """Validate that a vertex separator separates (§2).
+
+        ``a_ids``/``b_ids``/``sep`` must partition the vertex set, and no
+        edge may join an A-vertex with a B-vertex.
+        """
+        phase = "separator"
+        n = graph.nvtxs
+        label = np.full(n, -1, dtype=np.int8)
+        for mark, ids in ((0, a_ids), (1, b_ids), (2, sep)):
+            ids = np.asarray(ids, dtype=np.int64)
+            if len(ids) and (ids.min() < 0 or ids.max() >= n):
+                _fail("separator labelling has out-of-range vertex ids",
+                      phase=phase, level=level)
+            if np.any(label[ids] != -1):
+                v = int(ids[np.flatnonzero(label[ids] != -1)[0]])
+                _fail(
+                    f"vertex {v} appears in two of the A/B/separator sets",
+                    phase=phase, level=level,
+                )
+            label[ids] = mark
+        if np.any(label == -1):
+            v = int(np.flatnonzero(label == -1)[0])
+            _fail(
+                f"vertex {v} is in none of the A/B/separator sets",
+                phase=phase, level=level,
+            )
+        src = _directed_src(graph)
+        crossing = (label[src] == 0) & (label[graph.adjncy] == 1)
+        if crossing.any():
+            i = int(np.flatnonzero(crossing)[0])
+            _fail(
+                f"separator does not separate: edge ({int(src[i])}, "
+                f"{int(graph.adjncy[i])}) joins the two sides",
+                phase=phase, level=level,
+            )
+
+
+class NullSanitizer:
+    """Falsy stand-in returned when sanitizing is disabled.
+
+    Mirrors the :class:`Sanitizer` surface with no-op methods so unguarded
+    call sites still work, but is falsy so the ``if san:`` hooks in the
+    pipeline skip even the method call.
+    """
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    @staticmethod
+    def _noop(*args, **kwargs) -> None:
+        return None
+
+    check_matching = _noop
+    check_contraction = _noop
+    check_bisection = _noop
+    check_degrees = _noop
+    check_kway = _noop
+    check_separator = _noop
+
+
+#: Shared singletons handed out by :func:`sanitizer`.
+ACTIVE = Sanitizer()
+NULL = NullSanitizer()

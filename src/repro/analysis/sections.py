@@ -1,0 +1,61 @@
+"""Paper section index for the RP008 cross-reference rule.
+
+Docstrings across :mod:`repro` cite the source paper with ``§N`` / ``§N.M``
+markers (e.g. "the coarsening phase (§3.1)").  Those citations rot silently
+when they point at sections that do not exist, so the lint pass validates
+every marker against the section outline recorded in ``PAPER.md`` at the
+repository root.
+
+The outline is discovered by scanning ``PAPER.md`` for every ``§N[.M]``
+token it mentions; referencing ``§N.M`` also implicitly validates ``§N``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["find_paper_md", "load_sections", "section_tokens"]
+
+_SECTION_RE = re.compile(r"§(\d+(?:\.\d+)*)")
+
+#: File the section outline is read from.
+PAPER_FILENAME = "PAPER.md"
+
+
+def section_tokens(text: str) -> set[str]:
+    """All section numbers cited as ``§N[.M]`` in ``text`` (without ``§``)."""
+    return set(_SECTION_RE.findall(text))
+
+
+def find_paper_md(start) -> Path | None:
+    """Locate ``PAPER.md`` by walking upward from ``start``.
+
+    ``start`` may be a file or directory; the first ``PAPER.md`` found in
+    it or any ancestor directory wins.  Returns ``None`` when the tree has
+    no paper manifest (the RP008 rule then skips itself).
+    """
+    start = Path(start).resolve()
+    if start.is_file():
+        start = start.parent
+    for directory in (start, *start.parents):
+        candidate = directory / PAPER_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_sections(paper_path) -> set[str]:
+    """Valid section numbers declared by the paper manifest.
+
+    A subsection token validates its ancestors too: a manifest citing only
+    ``§3.1`` still makes ``§3`` a valid reference.
+    """
+    text = Path(paper_path).read_text(encoding="utf-8")
+    tokens = section_tokens(text)
+    closed = set(tokens)
+    for token in tokens:
+        parts = token.split(".")
+        for i in range(1, len(parts)):
+            closed.add(".".join(parts[:i]))
+    return closed

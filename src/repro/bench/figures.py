@@ -26,6 +26,7 @@ from repro.matrices import suite
 from repro.ordering import factor_stats, mlnd_ordering, mmd_ordering, snd_ordering
 from repro.spectral.chaco_ml import chaco_ml_partition
 from repro.spectral.msb import msb_partition
+from repro.utils.errors import ConfigurationError
 
 #: Paper part counts (64, 128, 256) scaled to the suite's graph orders.
 DEFAULT_NPARTS = (16, 32, 64)
@@ -61,7 +62,7 @@ def cut_ratio_rows(
         ),
     }
     if baseline not in runners:
-        raise ValueError(f"unknown baseline {baseline!r}; one of {sorted(runners)}")
+        raise ConfigurationError(f"unknown baseline {baseline!r}; one of {sorted(runners)}")
     run_baseline = runners[baseline]
 
     rows = []

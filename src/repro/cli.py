@@ -7,7 +7,8 @@ Subcommands mirror what the METIS binaries of the era offered:
 * ``order GRAPH`` — compute a fill-reducing ordering (mlnd/mmd/snd),
   print the symbolic-factorization stats, optionally write the perm;
 * ``generate NAME OUT`` — write a suite workload to a ``.graph`` file;
-* ``info GRAPH`` — print basic statistics of a graph file.
+* ``info GRAPH`` — print basic statistics of a graph file;
+* ``lint [PATHS]`` — run the repo's AST lint pass (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -82,6 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="print statistics of a graph file")
     p.add_argument("graph", nargs="?", help="input .graph file")
     p.add_argument("--suite", action="store_true", help="list suite workloads")
+
+    p = sub.add_parser(
+        "lint", help="run the repo lint pass (RP001-RP008, docs/ANALYSIS.md)"
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument("--paper", help="explicit PAPER.md for the RP008 index")
+    p.add_argument("--select", help="comma-separated rule ids to run")
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
     return parser
 
 
@@ -95,6 +109,10 @@ def main(argv=None) -> int:
         return _cmd_generate(args)
     if args.command == "info":
         return _cmd_info(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.sanitize import sanitizer
 from repro.core.matching import compute_matching
 from repro.core.options import DEFAULT_OPTIONS, MatchingScheme
 from repro.graph.contract import (
@@ -81,6 +82,7 @@ def coarsen(graph, options=DEFAULT_OPTIONS, rng=None) -> CoarseningHierarchy:
     CoarseningHierarchy
     """
     rng = as_generator(rng if rng is not None else options.seed)
+    san = sanitizer(options)
     hierarchy = CoarseningHierarchy(graphs=[graph], cmaps=[])
     current = graph
     cewgt = None
@@ -91,13 +93,18 @@ def coarsen(graph, options=DEFAULT_OPTIONS, rng=None) -> CoarseningHierarchy:
         current.nvtxs > options.coarsen_to
         and hierarchy.nlevels <= options.max_coarsen_levels
     ):
+        level = hierarchy.nlevels - 1
         match = compute_matching(current, options.matching, rng, cewgt)
+        if san:
+            san.check_matching(current, match, level=level)
         cmap, ncoarse = coarse_map_from_matching(match)
         if ncoarse >= current.nvtxs * options.coarsen_stall_ratio:
             break  # matching stalled; further levels would spin
         if options.matching is MatchingScheme.HCM:
             cewgt = collapsed_edge_weight(current, cmap, ncoarse, cewgt)
         coarse = contract(current, cmap, ncoarse)
+        if san:
+            san.check_contraction(current, coarse, cmap, level=level)
         hierarchy.graphs.append(coarse)
         hierarchy.cmaps.append(cmap)
         current = coarse

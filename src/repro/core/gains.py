@@ -20,6 +20,8 @@ import heapq
 
 import numpy as np
 
+from repro.utils.errors import ConfigurationError
+
 
 def external_internal_degrees(graph, where):
     """Vectorised ``(ed, id)`` arrays for the bisection ``where``.
@@ -146,7 +148,7 @@ class BucketGainTable:
 
     def __init__(self, max_abs_gain: int) -> None:
         if max_abs_gain < 0:
-            raise ValueError("max_abs_gain must be non-negative")
+            raise ConfigurationError("max_abs_gain must be non-negative")
         self._offset = int(max_abs_gain)
         self._buckets: list[dict] = [dict() for _ in range(2 * self._offset + 1)]
         self._gain: dict[int, int] = {}
@@ -155,7 +157,7 @@ class BucketGainTable:
     def _index(self, gain: int) -> int:
         idx = gain + self._offset
         if not (0 <= idx < len(self._buckets)):
-            raise ValueError(
+            raise ConfigurationError(
                 f"gain {gain} outside the declared range ±{self._offset}"
             )
         return idx
@@ -224,4 +226,4 @@ def make_gain_tables(kind: str, graph, ed, id_):
     if kind == "bucket":
         bound = int((ed + id_).max(initial=0))
         return BucketGainTable(bound), BucketGainTable(bound)
-    raise ValueError(f"unknown gain table kind {kind!r}; 'heap' or 'bucket'")
+    raise ConfigurationError(f"unknown gain table kind {kind!r}; 'heap' or 'bucket'")

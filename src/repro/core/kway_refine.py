@@ -13,16 +13,21 @@ module implements greedy k-way boundary refinement in that spirit:
   strictly repairs an overweight part), updating neighbours incrementally;
 * passes repeat until a sweep makes no move (with a pass cap).
 
-This is a *greedy* (no hill-climbing, no rollback) refiner — boundary
-sweeps with positive-gain moves only — so each pass strictly decreases the
-cut and termination is immediate.  On recursive-bisection partitions it
-typically shaves a few percent off the cut at negligible cost.
+This is a *greedy* (no hill-climbing, no rollback) refiner: on a balanced
+input every accepted move has positive gain, so each pass strictly
+decreases the cut and termination is immediate.  On an *overweight* input
+repair moves may trade cut for balance — they pick the cheapest eviction
+from the heavy part (interior and isolated vertices included, where the
+cost can be zero) and never increase the total overweight.  On
+recursive-bisection partitions it typically shaves a few percent off the
+cut at negligible cost.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitize import sanitizer
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.partition import KWayPartition, edge_cut, part_weights
 from repro.utils.rng import as_generator
@@ -65,10 +70,16 @@ def refine_kway(
     for _ in range(max_passes):
         moved = 0
         pass_gain = 0
-        # Only boundary vertices can have positive-gain moves; sweep them
-        # in random order (O(m) NumPy to find them, Python only on the
-        # boundary).
-        candidates = np.flatnonzero(boundary_mask(graph, where))
+        # Only boundary vertices can have positive-gain moves; vertices of
+        # overweight parts are repair candidates whether or not they sit on
+        # the boundary — an interior (or isolated) vertex is often the
+        # *cheapest* one to evict.  Sweep in random order (O(m) NumPy to
+        # find candidates, Python only on the candidate set).
+        cand_mask = boundary_mask(graph, where)
+        heavy = np.flatnonzero(pwgts > maxpwgt)
+        if len(heavy):
+            cand_mask = cand_mask | np.isin(where, heavy)
+        candidates = np.flatnonzero(cand_mask)
         if len(candidates) == 0:
             break
         for v in candidates[rng.permutation(len(candidates))]:
@@ -76,34 +87,42 @@ def refine_kway(
             s, e = xadj[v], xadj[v + 1]
             nbr_parts = where[adjncy[s:e]]
             my = where[v]
-            if not np.any(nbr_parts != my):
+            must_repair = pwgts[my] > maxpwgt
+            if not must_repair and not np.any(nbr_parts != my):
                 continue  # became interior earlier this pass
-            # Edge weight of v toward each adjacent part.
+            # Edge weight of v toward each adjacent part.  Gains stay in
+            # exact integer arithmetic: the running cut is maintained
+            # incrementally and must never drift.
             w = adjwgt[s:e]
             parts, inverse = np.unique(nbr_parts, return_inverse=True)
-            toward = np.bincount(inverse, weights=w)
+            toward = np.bincount(inverse, weights=w).astype(np.int64)
             my_idx = np.flatnonzero(parts == my)
-            internal = float(toward[my_idx[0]]) if len(my_idx) else 0.0
+            internal = int(toward[my_idx[0]]) if len(my_idx) else 0
             w_v = int(vwgt[v])
 
-            must_repair = pwgts[my] > maxpwgt
+            # Destination candidates: adjacent parts (the only targets a
+            # positive-gain move can have); under repair pressure *every*
+            # part qualifies — a non-adjacent destination costs exactly
+            # ``internal``, which is 0 for an interior-of-nothing vertex.
+            tw_by_part = dict(zip(parts.tolist(), toward.tolist()))
+            dests = range(k) if must_repair else parts.tolist()
             best_part = -1
-            best_gain = -np.inf
-            for p, tw in zip(parts, toward):
+            best_key = None
+            for p in dests:
                 if p == my:
                     continue
-                gain = tw - internal
+                gain = int(tw_by_part.get(p, 0)) - internal
                 fits = pwgts[p] + w_v <= maxpwgt
                 repairs = must_repair and pwgts[p] + w_v < pwgts[my]
                 if not (fits or repairs):
                     continue
-                if gain > best_gain or (
-                    gain == best_gain and best_part != -1
-                    and pwgts[p] < pwgts[best_part]
-                ):
-                    best_part, best_gain = int(p), gain
+                # Maximise gain; break ties toward the lighter destination.
+                key = (gain, -int(pwgts[p]))
+                if best_key is None or key > best_key:
+                    best_part, best_key = int(p), key
             if best_part == -1:
                 continue
+            best_gain = best_key[0]
             # Positive-gain moves always; non-positive gains only as
             # balance repair (the greedy refiner never hill-climbs).
             if best_gain <= 0 and not must_repair:
@@ -111,16 +130,21 @@ def refine_kway(
             where[v] = best_part
             pwgts[my] -= w_v
             pwgts[best_part] += w_v
-            pass_gain += int(best_gain)
-            cut -= int(best_gain)
+            pass_gain += best_gain
+            cut -= best_gain
             moved += 1
         if moved == 0:
             break
         # Diminishing returns: stop once a whole pass recovers less than
         # 0.1 % of the cut — later passes cost full sweeps for crumbs.
-        if pass_gain < max(1, cut // 1000):
+        # Never stop early while a part is still overweight: repair passes
+        # recover balance, not cut, and may legitimately gain nothing.
+        if pass_gain < max(1, cut // 1000) and not np.any(pwgts > maxpwgt):
             break
 
+    san = sanitizer(options)
+    if san:
+        san.check_kway(graph, where, pwgts, cut, k, phase="kway-refine")
     partition.cut = edge_cut(graph, where)  # exact, guards vs drift
     partition.pwgts = part_weights(graph, where, k)
     return partition

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.sanitize import sanitizer
 from repro.core.coarsen import CoarseningHierarchy, coarsen
 from repro.core.initial import initial_bisection
 from repro.core.options import DEFAULT_OPTIONS
@@ -120,9 +121,19 @@ def bisect(
     coarsest = hierarchy.coarsest
 
     # --- Phase 2: initial partition ----------------------------------
+    san = sanitizer(options)
     with timers.phase("ITime"):
         bisection = initial_bisection(coarsest, options, rng, target0)
     initial_cut = bisection.cut
+    if san:
+        san.check_bisection(
+            coarsest,
+            bisection.where,
+            bisection.pwgts,
+            bisection.cut,
+            phase="initial",
+            level=hierarchy.nlevels - 1,
+        )
 
     # --- Phase 3: uncoarsening ---------------------------------------
     with timers.phase("RTime"):
@@ -143,6 +154,15 @@ def bisect(
                 where=where,
                 cut=bisection.cut,  # invariant: cut is preserved by projection
                 pwgts=part_weights(fine, where, 2),
+            )
+        if san:
+            san.check_bisection(
+                fine,
+                bisection.where,
+                bisection.pwgts,
+                bisection.cut,
+                phase="project",
+                level=level,
             )
         with timers.phase("RTime"):
             refine_bisection(

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from enum import Enum
 
+from repro.utils.errors import ConfigurationError
+
 
 class MatchingScheme(str, Enum):
     """Coarsening matching schemes of §3.1."""
@@ -89,6 +91,12 @@ class MultilevelOptions:
         classical FM bucket array — O(1) operations, gain-range memory).
     seed:
         Default RNG seed used when the caller does not supply one.
+    sanitize:
+        Enable the runtime invariant sanitizer
+        (:mod:`repro.analysis.sanitize`): O(n+m) checks at every phase
+        boundary that raise :class:`~repro.utils.errors.SanitizerError`
+        when the incremental bookkeeping drifts.  Also enabled globally by
+        ``REPRO_SANITIZE=1``; free when off.
     """
 
     matching: MatchingScheme = MatchingScheme.HEM
@@ -106,6 +114,7 @@ class MultilevelOptions:
     eager_gains: bool = False
     gain_table: str = "heap"
     seed: int = 4242
+    sanitize: bool = False
 
     def with_(self, **kwargs) -> "MultilevelOptions":
         """Return a copy with the given fields replaced."""
@@ -113,17 +122,17 @@ class MultilevelOptions:
 
     def __post_init__(self):
         if self.coarsen_to < 2:
-            raise ValueError("coarsen_to must be at least 2")
+            raise ConfigurationError("coarsen_to must be at least 2")
         if not (0.0 < self.coarsen_stall_ratio <= 1.0):
-            raise ValueError("coarsen_stall_ratio must be in (0, 1]")
+            raise ConfigurationError("coarsen_stall_ratio must be in (0, 1]")
         if self.ubfactor < 1.0:
-            raise ValueError("ubfactor must be >= 1.0")
+            raise ConfigurationError("ubfactor must be >= 1.0")
         if self.kl_early_exit < 1:
-            raise ValueError("kl_early_exit must be positive")
+            raise ConfigurationError("kl_early_exit must be positive")
         if self.ggp_trials < 1 or self.gggp_trials < 1:
-            raise ValueError("trial counts must be positive")
+            raise ConfigurationError("trial counts must be positive")
         if self.gain_table not in ("heap", "bucket"):
-            raise ValueError("gain_table must be 'heap' or 'bucket'")
+            raise ConfigurationError("gain_table must be 'heap' or 'bucket'")
 
 
 #: The paper's recommended configuration (HEM + GGGP + BKLGR).

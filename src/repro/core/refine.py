@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.sanitize import sanitizer
 from repro.core.gains import external_internal_degrees, make_gain_tables
 from repro.core.options import DEFAULT_OPTIONS, RefinePolicy
 from repro.graph.partition import Bisection
@@ -81,6 +82,7 @@ def fm_pass(
     stats=None,
     eager=False,
     gain_table="heap",
+    san=None,
 ):
     """Run one FM pass in place; return the (non-negative) improvement.
 
@@ -98,6 +100,11 @@ def fm_pass(
         moves.
     ed, id_:
         Optional pre-computed degree arrays (recomputed when omitted).
+    san:
+        Optional active :class:`repro.analysis.sanitize.Sanitizer`; when
+        set, the incrementally-maintained degrees and running cut are
+        validated against a from-scratch recomputation at the end of the
+        move loop (before the undo step).
 
     Returns
     -------
@@ -146,7 +153,8 @@ def fm_pass(
             if locked[v]:
                 continue
             gain_now = int(ed[v] - id_[v])
-            if gain_now != gain:
+            # Both sides are exact ints (ed/id_ are int64 arrays).
+            if gain_now != gain:  # repro: noqa[RP004]
                 table.push(v, gain_now)
                 continue
             return v, gain
@@ -236,6 +244,12 @@ def fm_pass(
         else:
             since_best += 1
 
+    # All moves are applied and the degree arrays are final for this pass:
+    # validate the incremental bookkeeping before the undo step (after it,
+    # ed/id_ are intentionally stale — the next pass recomputes them).
+    if san:
+        san.check_degrees(graph, where, ed, id_, cut, phase="refine")
+
     # Undo the moves past the best prefix ("Since the last x vertex moves
     # did not decrease the edge-cut they are undone").
     for v in reversed(moved[best_prefix:]):
@@ -296,6 +310,7 @@ def refine_bisection(
     pwgts = bisection.pwgts
     cut = bisection.cut
     x = options.kl_early_exit
+    san = sanitizer(options)
 
     if policy is RefinePolicy.BKLGR:
         ed, _ = external_internal_degrees(graph, where)
@@ -322,6 +337,7 @@ def refine_bisection(
             stats=stats,
             eager=options.eager_gains,
             gain_table=options.gain_table,
+            san=san or None,
         )
         if improvement <= 0:
             break

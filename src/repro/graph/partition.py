@@ -96,7 +96,10 @@ class Bisection:
     def verify(self, graph) -> None:
         """Re-derive cut and weights; raise if the cached values drifted."""
         fresh = Bisection.from_where(graph, self.where)
-        if fresh.cut != self.cut or not np.array_equal(fresh.pwgts, self.pwgts):
+        # Exact int comparison: both cuts come from edge_cut's int64 sum.
+        if fresh.cut != self.cut or not np.array_equal(  # repro: noqa[RP004]
+            fresh.pwgts, self.pwgts
+        ):
             raise PartitionError(
                 f"inconsistent bisection record: cached (cut={self.cut}, "
                 f"pwgts={self.pwgts.tolist()}) vs actual (cut={fresh.cut}, "

@@ -7,7 +7,10 @@ A :class:`~repro.graph.csr.CSRGraph` must satisfy:
 * the adjacency is symmetric with matching weights: edge ``(u, v, w)``
   appears in both ``u``'s and ``v``'s list with the same ``w``;
 * no duplicate neighbours within one vertex's list;
-* vertex weights are positive, edge weights are positive.
+* vertex weights are positive, edge weights are positive;
+* index arrays have integer dtypes (float indices silently truncate);
+* weight totals fit comfortably in int64 (the cut/balance arithmetic
+  accumulates them with ``np.int64`` and must never wrap).
 
 Validation is O(m log m) (it sorts each adjacency list), so internal callers
 skip it on graphs produced by trusted kernels; the test suite exercises it
@@ -21,9 +24,34 @@ import numpy as np
 from repro.utils.errors import GraphValidationError
 
 
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _check_weight_sum(weights, name: str) -> None:
+    """Reject weight arrays whose total could wrap int64 accumulation.
+
+    All cut and balance arithmetic sums these arrays with ``np.int64``;
+    NumPy wraps silently on overflow, so guard with the conservative bound
+    ``max(w) * len(w) ≤ INT64_MAX`` (exact totals are far below it).
+    """
+    if not len(weights):
+        return
+    peak = int(np.max(weights))
+    if peak > 0 and peak > _INT64_MAX // len(weights):
+        raise GraphValidationError(
+            f"{name} values are large enough that their sum may overflow "
+            f"int64 accumulation (max={peak}, count={len(weights)})"
+        )
+
+
 def validate_graph(graph) -> None:
     """Raise :class:`GraphValidationError` if ``graph`` is malformed."""
     xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    for name, arr in (("xadj", xadj), ("adjncy", adjncy)):
+        if not np.issubdtype(np.asarray(arr).dtype, np.integer):
+            raise GraphValidationError(
+                f"{name} must have an integer dtype, got {np.asarray(arr).dtype}"
+            )
     n = len(xadj) - 1
     if n < 0:
         raise GraphValidationError("xadj must have at least one entry")
@@ -49,6 +77,8 @@ def validate_graph(graph) -> None:
         raise GraphValidationError("vertex weights must be positive")
     if len(adjwgt) and np.any(adjwgt <= 0):
         raise GraphValidationError("edge weights must be positive")
+    _check_weight_sum(vwgt, "vwgt")
+    _check_weight_sum(adjwgt, "adjwgt")
 
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj))
     if np.any(src == adjncy):
@@ -62,7 +92,8 @@ def validate_graph(graph) -> None:
     if np.any(dup):
         i = int(np.flatnonzero(dup)[0])
         raise GraphValidationError(
-            f"duplicate edge ({s_sorted[i]}, {d_sorted[i]}) in adjacency list"
+            f"vertex {int(s_sorted[i])} has duplicate neighbour "
+            f"{int(d_sorted[i])} in its adjacency list"
         )
 
     # Symmetry with matching weights: the multiset of (u, v, w) directed
@@ -73,9 +104,12 @@ def validate_graph(graph) -> None:
     rs = adjncy[rorder].astype(np.int64)
     rd = src[rorder]
     rw = adjwgt[rorder]
-    if not (
-        np.array_equal(s_sorted, rs)
-        and np.array_equal(d_sorted.astype(np.int64), rd)
-        and np.array_equal(w_sorted, rw)
-    ):
-        raise GraphValidationError("adjacency is not symmetric with equal weights")
+    d64 = d_sorted.astype(np.int64)
+    bad = (s_sorted != rs) | (d64 != rd) | (w_sorted != rw)
+    if np.any(bad):
+        i = int(np.flatnonzero(bad)[0])
+        raise GraphValidationError(
+            "adjacency is not symmetric with equal weights: edge "
+            f"({int(s_sorted[i])}, {int(d64[i])}, w={int(w_sorted[i])}) has no "
+            f"matching reverse entry"
+        )

@@ -22,13 +22,14 @@ import numpy as np
 from repro.graph.build import from_edge_list
 from repro.graph.components import largest_component
 from repro.graph.generators_util import simple_edges
+from repro.utils.errors import ConfigurationError
 from repro.utils.rng import as_generator
 
 
 def grid2d(nx: int, ny: int, *, nine_point: bool = False):
     """``nx × ny`` structured grid (5-point, or 9-point with diagonals)."""
     if nx < 1 or ny < 1:
-        raise ValueError("grid dimensions must be positive")
+        raise ConfigurationError("grid dimensions must be positive")
     idx = np.arange(nx * ny).reshape(ny, nx)
     edges = []
     edges.append(np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]))

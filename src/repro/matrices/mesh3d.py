@@ -20,13 +20,14 @@ import numpy as np
 from repro.graph.build import from_edge_list
 from repro.graph.components import largest_component
 from repro.graph.generators_util import simple_edges
+from repro.utils.errors import ConfigurationError
 from repro.utils.rng import as_generator
 
 
 def grid3d(nx: int, ny: int, nz: int):
     """``nx × ny × nz`` structured 7-point grid with coordinates."""
     if min(nx, ny, nz) < 1:
-        raise ValueError("grid dimensions must be positive")
+        raise ConfigurationError("grid dimensions must be positive")
     idx = np.arange(nx * ny * nz).reshape(nz, ny, nx)
     edges = []
     edges.append(np.column_stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()]))
@@ -94,7 +95,7 @@ def expand_dofs(node_graph, dofs: int):
     per DOF so geometric methods still work.
     """
     if dofs < 1:
-        raise ValueError("dofs must be >= 1")
+        raise ConfigurationError("dofs must be >= 1")
     n = node_graph.nvtxs
     base = np.arange(n, dtype=np.int64) * dofs
     edges = []

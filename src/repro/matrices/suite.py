@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.matrices import circuits, highway, lp, mesh2d, mesh3d, power
+from repro.utils.errors import UnknownWorkloadError
 
 
 @dataclass(frozen=True)
@@ -149,7 +150,7 @@ def load(name: str, *, scale: float = 1.0, seed: int = 0, cache: bool = True):
     """
     entry = SUITE.get(name) or _SHORT.get(name)
     if entry is None:
-        raise KeyError(
+        raise UnknownWorkloadError(
             f"unknown suite matrix {name!r}; known: {', '.join(suite_names())}"
         )
     key = (entry.name, scale, seed)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitize import sanitizer
 from repro.core.multilevel import bisect as ml_bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import connected_components, extract_subgraph
@@ -52,7 +53,7 @@ def mlnd_ordering(
 
     return nested_dissection_ordering(
         graph, bisector, rng, leaf_size=leaf_size, method="mlnd",
-        refine_separator=refine_separator,
+        refine_separator=refine_separator, options=options,
     )
 
 
@@ -64,6 +65,7 @@ def nested_dissection_ordering(
     leaf_size: int = 120,
     method: str = "nd",
     refine_separator: bool = True,
+    options=None,
 ) -> Ordering:
     """Generic nested-dissection driver.
 
@@ -77,21 +79,25 @@ def nested_dissection_ordering(
         Shrink each minimum-vertex-cover separator further with greedy
         node-FM refinement (see :mod:`repro.ordering.separator_refine`)
         before recursing — what the released METIS does.
+    options:
+        Only consulted for ``sanitize``: when set (or ``REPRO_SANITIZE=1``)
+        every separator is checked to actually separate its subgraph.
 
     Returns
     -------
     Ordering
     """
     rng = as_generator(rng)
+    san = sanitizer(options)
     n = graph.nvtxs
     perm = np.empty(n, dtype=np.int64)
 
-    # Explicit stack of (subgraph, vmap, lo, hi) jobs; positions [lo, hi)
-    # belong to the subgraph.  Avoids Python recursion limits on deep
-    # dissections of path-like graphs.
-    stack = [(graph, np.arange(n, dtype=np.int64), 0, n)]
+    # Explicit stack of (subgraph, vmap, lo, hi, depth) jobs; positions
+    # [lo, hi) belong to the subgraph.  Avoids Python recursion limits on
+    # deep dissections of path-like graphs.
+    stack = [(graph, np.arange(n, dtype=np.int64), 0, n, 0)]
     while stack:
-        sub, vmap, lo, hi = stack.pop()
+        sub, vmap, lo, hi, depth = stack.pop()
         nv = sub.nvtxs
         if nv == 0:
             continue
@@ -108,7 +114,7 @@ def nested_dissection_ordering(
             for c in range(ncomp):
                 ids = np.flatnonzero(comp == c).astype(np.int64)
                 csub, _ = extract_subgraph(sub, ids)
-                stack.append((csub, vmap[ids], pos, pos + len(ids)))
+                stack.append((csub, vmap[ids], pos, pos + len(ids), depth))
                 pos += len(ids)
             continue
 
@@ -133,6 +139,8 @@ def nested_dissection_ordering(
             in_sep[sep] = True
             a_ids = np.flatnonzero((where == 0) & ~in_sep).astype(np.int64)
             b_ids = np.flatnonzero((where == 1) & ~in_sep).astype(np.int64)
+        if san:
+            san.check_separator(sub, a_ids, b_ids, sep, level=depth)
         if len(a_ids) == 0 or len(b_ids) == 0:
             # Degenerate split (can happen on cliques where the separator
             # swallows a side): fall back to MMD on the whole subgraph.
@@ -145,7 +153,7 @@ def nested_dissection_ordering(
         perm[sep_lo:hi] = vmap[sep]
         a_sub, _ = extract_subgraph(sub, a_ids)
         b_sub, _ = extract_subgraph(sub, b_ids)
-        stack.append((a_sub, vmap[a_ids], lo, lo + len(a_ids)))
-        stack.append((b_sub, vmap[b_ids], lo + len(a_ids), sep_lo))
+        stack.append((a_sub, vmap[a_ids], lo, lo + len(a_ids), depth + 1))
+        stack.append((b_sub, vmap[b_ids], lo + len(a_ids), sep_lo, depth + 1))
 
     return Ordering.from_perm(perm, method)

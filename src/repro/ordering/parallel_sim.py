@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ordering.elimination import symbolic_factor
+from repro.utils.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,7 @@ def simulate_parallel_factorization(graph, perm, processors: int) -> ParallelFac
     go under an idealised multifrontal schedule).
     """
     if processors < 1:
-        raise ValueError("processors must be >= 1")
+        raise ConfigurationError("processors must be >= 1")
     counts, parent = symbolic_factor(graph, perm)
     n = len(counts)
     ops = _column_ops(counts) if n else np.zeros(0, dtype=np.int64)

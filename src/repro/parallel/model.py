@@ -34,6 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.errors import ConfigurationError
+
 
 @dataclass(frozen=True)
 class MachineParameters:
@@ -97,7 +99,7 @@ def estimate_parallel_speedup(
     ParallelEstimate
     """
     if processors < 1:
-        raise ValueError("processors must be >= 1")
+        raise ConfigurationError("processors must be >= 1")
     p = processors
     log_p = max(1.0, np.log2(p))
     alpha, beta, t_flop = machine.alpha, machine.beta, machine.t_flop
@@ -165,7 +167,7 @@ def scale_levels(levels, factor: float, *, dimensionality: int = 3):
     from repro.parallel.stats import LevelStats
 
     if factor <= 0:
-        raise ValueError("factor must be positive")
+        raise ConfigurationError("factor must be positive")
     surface = factor ** ((dimensionality - 1) / dimensionality)
     extra_rounds = max(0, int(round(np.log2(max(factor, 1e-12)))))
     return [

@@ -18,7 +18,7 @@ from repro.core.multilevel import bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.partition import boundary_mask
 from repro.parallel.coloring import handshake_matching_rounds
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn_child
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,11 @@ def collect_level_stats(graph, options=DEFAULT_OPTIONS, rng=None):
     of the final bisection projected back down the hierarchy (a faithful
     stand-in for the per-level refinement working set: refinement keeps
     the boundary near its final location).
+
+    ``rng`` seeds everything, including the per-level handshake-matching
+    simulations (each level gets its own child stream so the measured
+    rounds respond to the caller's seed but not to the number of levels
+    simulated before it).
     """
     rng = as_generator(rng if rng is not None else options.seed)
     hierarchy = coarsen(graph, options, rng)
@@ -66,7 +71,7 @@ def collect_level_stats(graph, options=DEFAULT_OPTIONS, rng=None):
         # later rounds match a vanishing fraction and are not worth a
         # synchronisation; unmatched vertices carry over.
         rounds, _ = handshake_matching_rounds(
-            g, np.random.default_rng(0), max_rounds=4
+            g, spawn_child(rng), max_rounds=4
         )
         levels.append(
             LevelStats(

@@ -5,14 +5,24 @@ Everything in :mod:`repro` that makes a random choice threads a
 the many ways a caller may express "which RNG" into a concrete generator.
 """
 
-from repro.utils.errors import GraphValidationError, PartitionError, ReproError
+from repro.utils.errors import (
+    ConfigurationError,
+    GraphValidationError,
+    PartitionError,
+    ReproError,
+    SanitizerError,
+    UnknownWorkloadError,
+)
 from repro.utils.rng import as_generator, spawn_child
 from repro.utils.timing import Stopwatch, PhaseTimer
 
 __all__ = [
     "ReproError",
+    "ConfigurationError",
     "GraphValidationError",
     "PartitionError",
+    "SanitizerError",
+    "UnknownWorkloadError",
     "as_generator",
     "spawn_child",
     "Stopwatch",

@@ -30,3 +30,43 @@ class PartitionError(ReproError):
 
 class OrderingError(ReproError):
     """A fill-reducing ordering request cannot be satisfied."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An option, parameter, or knob value is invalid.
+
+    Also derives from :class:`ValueError` so pre-existing callers (and the
+    stdlib idiom for bad argument values) keep working unchanged.
+    """
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A suite/workload name does not exist in the registry.
+
+    Also derives from :class:`KeyError`, the conventional type for registry
+    lookups, so ``except KeyError`` call sites keep working.
+    """
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant check of the multilevel pipeline failed.
+
+    Raised only when the sanitizer is enabled (``REPRO_SANITIZE=1`` or
+    ``MultilevelOptions.sanitize=True``); see :mod:`repro.analysis.sanitize`.
+
+    Attributes
+    ----------
+    phase:
+        Pipeline phase whose invariant broke (``"matching"``,
+        ``"contraction"``, ``"initial"``, ``"project"``, ``"refine"``,
+        ``"kway-refine"``, ``"separator"``).
+    level:
+        Coarsening level (or dissection depth) at which it broke, or
+        ``None`` when the phase has no level structure.
+    """
+
+    def __init__(self, message: str, *, phase: str, level=None):
+        self.phase = phase
+        self.level = level
+        at = f"phase={phase}" + ("" if level is None else f", level={level}")
+        super().__init__(f"[{at}] {message}")

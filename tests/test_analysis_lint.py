@@ -1,0 +1,208 @@
+"""Tests for the static lint pass (``repro.analysis``).
+
+A synthetic fixture tree carries exactly one violation per rule; the engine
+must find all of them (with the right ids, files and lines), honour
+``# repro: noqa[...]`` suppressions, and exit cleanly on the shipped tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, default_rules, format_findings, lint_paths
+from repro.analysis.engine import collect_suppressions, is_suppressed
+from repro.analysis.cli import main as lint_main
+from repro.analysis.sections import load_sections, section_tokens
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: One file per rule, each carrying exactly one violation of that rule.
+VIOLATIONS = {
+    "RP001": (
+        "pkg/randomness.py",
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def sample():\n"
+        "    return np.random.default_rng().random()\n",
+    ),
+    "RP002": (
+        "pkg/mutate.py",
+        "def clear_weights(graph):\n"
+        "    graph.adjwgt[:] = 0\n",
+    ),
+    "RP003": (
+        "pkg/swallow.py",
+        "def call(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception:\n"
+        "        return None\n",
+    ),
+    "RP004": (
+        "pkg/floatcmp.py",
+        "def is_half(ratio):\n"
+        "    return ratio == 0.5\n",
+    ),
+    "RP005": (
+        "pkg/raises.py",
+        "def check(n):\n"
+        "    if n < 0:\n"
+        "        raise ValueError('negative')\n",
+    ),
+    "RP006": (
+        "pkg/chatty.py",
+        "def report(cut):\n"
+        "    print(cut)\n",
+    ),
+    "RP007": (
+        "pkg/__init__.py",
+        "from pkg.raises import check\n",
+    ),
+    "RP008": (
+        "pkg/cites.py",
+        '"""Implements the frobnication phase (§9.9).\n"""\n',
+    ),
+}
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """Write the violation files plus a PAPER.md declaring only §3.1."""
+    (tmp_path / "PAPER.md").write_text(
+        "# Paper\n\nThe coarsening phase (§3.1) is the only section.\n"
+    )
+    for _, (rel, source) in sorted(VIOLATIONS.items()):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+class TestFixtureTree:
+    def test_every_rule_fires_once(self, fixture_tree):
+        findings = lint_paths(
+            [fixture_tree / "pkg"], paper=fixture_tree / "PAPER.md"
+        )
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule_id, []).append(f)
+        assert set(by_rule) == set(VIOLATIONS)
+        for rule_id, (rel, _) in VIOLATIONS.items():
+            hits = by_rule[rule_id]
+            assert len(hits) == 1, f"{rule_id} fired {len(hits)} times"
+            assert hits[0].path.endswith(rel.rsplit("/", 1)[-1])
+
+    def test_output_format(self, fixture_tree):
+        findings = lint_paths(
+            [fixture_tree / "pkg"], paper=fixture_tree / "PAPER.md"
+        )
+        for line in format_findings(findings).splitlines():
+            path, lineno, col, rest = line.split(":", 3)
+            assert path.endswith(".py")
+            assert int(lineno) >= 1
+            assert int(col) >= 1
+            assert rest.strip().startswith("RP")
+
+    def test_cli_exits_nonzero_with_rule_ids(self, fixture_tree, capsys):
+        code = lint_main(
+            [str(fixture_tree / "pkg"), "--paper", str(fixture_tree / "PAPER.md")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        for rule_id in VIOLATIONS:
+            assert rule_id in out
+
+    def test_repro_lint_subcommand(self, fixture_tree, capsys):
+        code = repro_main(
+            [
+                "lint",
+                str(fixture_tree / "pkg"),
+                "--paper",
+                str(fixture_tree / "PAPER.md"),
+            ]
+        )
+        assert code == 1
+        assert "RP001" in capsys.readouterr().out
+
+    def test_select_restricts_rules(self, fixture_tree, capsys):
+        code = lint_main(
+            [
+                str(fixture_tree / "pkg"),
+                "--paper",
+                str(fixture_tree / "PAPER.md"),
+                "--select",
+                "RP005",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RP005" in out
+        assert "RP001" not in out
+
+    def test_select_unknown_rule_is_usage_error(self, fixture_tree, capsys):
+        code = lint_main([str(fixture_tree / "pkg"), "--select", "RP999"])
+        assert code == 2
+
+    def test_syntax_error_reported_as_rp000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = lint_paths([bad])
+        assert [f.rule_id for f in findings] == ["RP000"]
+
+
+class TestSuppression:
+    def test_noqa_with_id_suppresses(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(
+            "def check(n):\n"
+            "    # input validation stays a builtin on purpose (doctest API)\n"
+            "    raise ValueError('x')  # repro: noqa[RP005]\n"
+        )
+        assert lint_paths([f]) == []
+
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("def chatty():\n    print('x')  # repro: noqa\n")
+        assert lint_paths([f]) == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("def chatty():\n    print('x')  # repro: noqa[RP001]\n")
+        assert [f_.rule_id for f_ in lint_paths([f])] == ["RP006"]
+
+    def test_collect_suppressions_parsing(self):
+        table = collect_suppressions(
+            "a = 1\n"
+            "b = 2  # repro: noqa\n"
+            "c = 3  # repro: noqa[RP001, RP004]\n"
+        )
+        assert table == {2: {"*"}, 3: {"RP001", "RP004"}}
+
+    def test_is_suppressed_case_insensitive_ids(self):
+        f = Finding("x.py", 5, 1, "RP004", "msg")
+        assert is_suppressed(f, {5: {"RP004"}})
+        assert not is_suppressed(f, {4: {"RP004"}})
+
+
+class TestSections:
+    def test_section_tokens(self):
+        assert section_tokens("coarsening (§3.1) and §2") == {"3.1", "2"}
+
+    def test_load_sections_closes_ancestors(self, tmp_path):
+        paper = tmp_path / "PAPER.md"
+        paper.write_text("only §4.2 is mentioned\n")
+        assert load_sections(paper) == {"4.2", "4"}
+
+
+class TestShippedTree:
+    def test_src_repro_is_clean(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src" / "repro"], paper=REPO_ROOT / "PAPER.md"
+        )
+        assert findings == [], format_findings(findings)
+
+    def test_default_rules_cover_rp001_to_rp008(self):
+        ids = [r.id for r in default_rules()]
+        assert ids == [f"RP00{i}" for i in range(1, 9)]

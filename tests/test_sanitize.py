@@ -1,0 +1,305 @@
+"""Tests for the runtime invariant sanitizer (``repro.analysis.sanitize``).
+
+Three layers:
+
+* selection — environment variable and ``options.sanitize`` choose between
+  the active and null sanitizer, and the null path performs **zero**
+  checker calls (counted by monkeypatching every checker);
+* fault injection — corrupted matchings, contracted graphs, degree arrays
+  and separators raise :class:`SanitizerError` naming the right phase;
+* end-to-end — the full pipeline runs clean under ``REPRO_SANITIZE=1``,
+  and a fault injected *inside* the pipeline is caught at the phase
+  boundary.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import (
+    ACTIVE,
+    NULL,
+    NullSanitizer,
+    Sanitizer,
+    sanitize_enabled,
+    sanitizer,
+)
+from repro.core.coarsen import coarsen
+from repro.core.gains import external_internal_degrees
+from repro.core.kway_refine import refine_kway
+from repro.core.matching import compute_matching
+from repro.core.multilevel import bisect
+from repro.core.options import DEFAULT_OPTIONS
+from repro.graph import KWayPartition, edge_cut, part_weights
+from repro.graph.contract import coarse_map_from_matching, contract
+from repro.ordering import mlnd_ordering
+from repro.utils.errors import ReproError, SanitizerError
+from tests.conftest import path_graph, random_graph
+
+CHECKERS = (
+    "check_matching",
+    "check_contraction",
+    "check_bisection",
+    "check_degrees",
+    "check_kway",
+    "check_separator",
+)
+
+
+@pytest.fixture
+def san_off(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+
+
+@pytest.fixture
+def san_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+@pytest.fixture
+def counted(monkeypatch):
+    """Replace every checker on both sanitizer classes with a counter."""
+    calls = []
+
+    def make_counter(name):
+        def counter(self, *args, **kwargs):
+            calls.append(name)
+
+        return counter
+
+    for name in CHECKERS:
+        monkeypatch.setattr(Sanitizer, name, make_counter(name))
+        monkeypatch.setattr(NullSanitizer, name, make_counter(name))
+    return calls
+
+
+class TestSelection:
+    def test_disabled_by_default(self, san_off):
+        assert not sanitize_enabled()
+        assert sanitizer() is NULL
+        assert not sanitizer()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsy_env_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitizer() is NULL
+
+    def test_env_enables(self, san_on):
+        assert sanitize_enabled()
+        assert sanitizer() is ACTIVE
+        assert sanitizer()
+
+    def test_options_enable_overrides_env(self, san_off):
+        options = DEFAULT_OPTIONS.with_(sanitize=True)
+        assert sanitizer(options) is ACTIVE
+
+    def test_options_default_defers_to_env(self, san_on):
+        assert sanitizer(DEFAULT_OPTIONS) is ACTIVE
+
+    def test_null_sanitizer_methods_are_noops(self):
+        null = NullSanitizer()
+        assert null.check_matching("anything", "goes") is None
+        assert not null
+
+    def test_disabled_pipeline_makes_zero_checker_calls(
+        self, san_off, counted, grid16
+    ):
+        bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        mlnd_ordering(grid16, DEFAULT_OPTIONS, np.random.default_rng(1))
+        assert counted == []
+
+    def test_enabled_pipeline_reaches_every_bisection_checker(
+        self, san_on, counted, grid16
+    ):
+        bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert {"check_matching", "check_contraction", "check_bisection"} <= set(
+            counted
+        )
+        assert "check_degrees" in counted  # refinement ran at least one pass
+
+
+class TestFaultInjection:
+    """Each corrupted structure must raise, naming the broken phase."""
+
+    def _matching(self, g, seed=0):
+        return compute_matching(g, DEFAULT_OPTIONS.matching, np.random.default_rng(seed))
+
+    def test_valid_matching_passes(self):
+        g = random_graph(60, 0.1, seed=3, connected=True)
+        ACTIVE.check_matching(g, self._matching(g), level=0)
+
+    def test_broken_involution_caught(self):
+        g = random_graph(60, 0.1, seed=3, connected=True)
+        match = self._matching(g).copy()
+        # Duplicate mate: two vertices both claim the same partner.
+        v = int(np.flatnonzero(match != np.arange(g.nvtxs))[0])
+        others = np.flatnonzero(
+            (match != np.arange(g.nvtxs)) & (np.arange(g.nvtxs) != v)
+        )
+        match[int(others[-1])] = match[v]
+        with pytest.raises(SanitizerError, match="involution") as exc:
+            ACTIVE.check_matching(g, match, level=2)
+        assert exc.value.phase == "matching"
+        assert exc.value.level == 2
+
+    def test_matched_non_edge_caught(self):
+        g = path_graph(6)  # 0-1-2-3-4-5: vertices 0 and 5 share no edge
+        match = np.arange(6)
+        match[0], match[5] = 5, 0
+        with pytest.raises(SanitizerError, match="shares no edge") as exc:
+            ACTIVE.check_matching(g, match, level=0)
+        assert exc.value.phase == "matching"
+
+    def test_non_maximal_matching_caught(self):
+        g = path_graph(4)
+        match = np.arange(4)  # empty matching, but edges exist
+        with pytest.raises(SanitizerError, match="maximal") as exc:
+            ACTIVE.check_matching(g, match)
+        assert exc.value.phase == "matching"
+
+    def _contraction(self, seed=5):
+        g = random_graph(80, 0.08, seed=seed, connected=True)
+        match = self._matching(g, seed)
+        cmap, ncoarse = coarse_map_from_matching(match)
+        return g, contract(g, cmap, ncoarse), cmap
+
+    def test_valid_contraction_passes(self):
+        fine, coarse, cmap = self._contraction()
+        ACTIVE.check_contraction(fine, coarse, cmap, level=0)
+
+    def test_dropped_vertex_weight_caught(self):
+        fine, coarse, cmap = self._contraction()
+        coarse.vwgt[0] += 1  # conservation now fails at multinode 0
+        with pytest.raises(SanitizerError, match="vertex weight") as exc:
+            ACTIVE.check_contraction(fine, coarse, cmap, level=1)
+        assert exc.value.phase == "contraction"
+        assert exc.value.level == 1
+
+    def test_dropped_edge_weight_caught(self):
+        fine, coarse, cmap = self._contraction()
+        coarse.adjwgt[:] += 1  # total no longer W(E_fine) - collapsed
+        with pytest.raises(SanitizerError, match="edge weight") as exc:
+            ACTIVE.check_contraction(fine, coarse, cmap)
+        assert exc.value.phase == "contraction"
+
+    def test_bisection_cut_drift_caught(self, grid16):
+        where = (np.arange(grid16.nvtxs) % 2).astype(np.int8)
+        pwgts = part_weights(grid16, where, 2)
+        cut = edge_cut(grid16, where)
+        ACTIVE.check_bisection(grid16, where, pwgts, cut, phase="project")
+        with pytest.raises(SanitizerError, match="cut drifted") as exc:
+            ACTIVE.check_bisection(
+                grid16, where, pwgts, cut - 1, phase="project", level=3
+            )
+        assert exc.value.phase == "project"
+        assert exc.value.level == 3
+
+    def test_bisection_empty_side_caught(self, grid16):
+        where = np.zeros(grid16.nvtxs, dtype=np.int8)
+        with pytest.raises(SanitizerError, match="empty") as exc:
+            ACTIVE.check_bisection(
+                grid16, where, part_weights(grid16, where, 2), 0, phase="initial"
+            )
+        assert exc.value.phase == "initial"
+
+    def test_off_by_one_gain_caught(self, grid16):
+        """A corrupted bucket gain == a corrupted ed/id entry."""
+        where = (np.arange(grid16.nvtxs) % 2).astype(np.int8)
+        ed, id_ = external_internal_degrees(grid16, where)
+        cut = edge_cut(grid16, where)
+        ACTIVE.check_degrees(grid16, where, ed, id_, cut)
+        ed[7] += 1  # the gain of vertex 7 is now off by one
+        with pytest.raises(SanitizerError, match="vertex 7") as exc:
+            ACTIVE.check_degrees(grid16, where, ed, id_, cut, phase="refine")
+        assert exc.value.phase == "refine"
+        assert "gain off by 1" in str(exc.value)
+
+    def test_running_cut_drift_caught(self, grid16):
+        where = (np.arange(grid16.nvtxs) % 2).astype(np.int8)
+        ed, id_ = external_internal_degrees(grid16, where)
+        with pytest.raises(SanitizerError, match="running cut") as exc:
+            ACTIVE.check_degrees(
+                grid16, where, ed, id_, edge_cut(grid16, where) + 2, phase="refine"
+            )
+        assert exc.value.phase == "refine"
+
+    def test_kway_weight_drift_caught(self, grid16):
+        where = (np.arange(grid16.nvtxs) % 4).astype(np.int32)
+        pwgts = part_weights(grid16, where, 4)
+        cut = edge_cut(grid16, where)
+        ACTIVE.check_kway(grid16, where, pwgts, cut, 4)
+        pwgts = pwgts.copy()
+        pwgts[2] -= 1
+        with pytest.raises(SanitizerError, match="part 2") as exc:
+            ACTIVE.check_kway(grid16, where, pwgts, cut, 4)
+        assert exc.value.phase == "kway-refine"
+
+    def test_non_separating_separator_caught(self):
+        g = path_graph(4)  # 0-1-2-3
+        with pytest.raises(SanitizerError, match="does not separate") as exc:
+            ACTIVE.check_separator(g, [0, 1], [2, 3], [], level=1)
+        assert exc.value.phase == "separator"
+        assert exc.value.level == 1
+        # With vertex 2 as the separator the same split is fine.
+        ACTIVE.check_separator(g, [0, 1], [3], [2], level=1)
+
+    def test_overlapping_separator_sets_caught(self):
+        g = path_graph(4)
+        with pytest.raises(SanitizerError, match="two of the A/B/separator"):
+            ACTIVE.check_separator(g, [0, 1], [1, 3], [2])
+
+    def test_incomplete_separator_sets_caught(self):
+        g = path_graph(4)
+        with pytest.raises(SanitizerError, match="none of the A/B/separator"):
+            ACTIVE.check_separator(g, [0], [3], [2])
+
+    def test_sanitizer_error_is_repro_error(self):
+        err = SanitizerError("boom", phase="matching", level=4)
+        assert isinstance(err, ReproError)
+        assert "phase=matching" in str(err)
+        assert "level=4" in str(err)
+
+
+class TestEndToEnd:
+    def test_full_bisection_clean_under_sanitizer(self, san_on, grid16):
+        result = bisect(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert result.bisection.cut == edge_cut(grid16, result.bisection.where)
+
+    def test_full_ordering_clean_under_sanitizer(self, san_on, grid16):
+        ordering = mlnd_ordering(
+            grid16, DEFAULT_OPTIONS.with_(sanitize=True), np.random.default_rng(1)
+        )
+        assert sorted(ordering.perm) == list(range(grid16.nvtxs))
+
+    def test_kway_refine_clean_under_sanitizer(self, san_on, grid16):
+        rng = np.random.default_rng(2)
+        where = rng.integers(0, 4, grid16.nvtxs).astype(np.int32)
+        p = KWayPartition.from_where(grid16, where, 4)
+        refine_kway(grid16, p, DEFAULT_OPTIONS, np.random.default_rng(3))
+        assert p.cut == edge_cut(grid16, p.where)
+
+    def test_pipeline_fault_caught_at_phase_boundary(self, san_on, grid16):
+        """Corrupt the matching *inside* coarsening: the very next phase
+        boundary must catch it and name the matching phase."""
+        real = compute_matching
+
+        def corrupted(graph, scheme, rng, cewgt=None):
+            match = real(graph, scheme, rng, cewgt).copy()
+            matched = np.flatnonzero(match != np.arange(graph.nvtxs))
+            if len(matched) >= 2:
+                match[int(matched[0])] = int(matched[0])  # break involution's mate
+            return match
+
+        coarsen_mod = sys.modules["repro.core.coarsen"]
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(coarsen_mod, "compute_matching", corrupted)
+            with pytest.raises(SanitizerError) as exc:
+                coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
+        assert exc.value.phase == "matching"
+        assert exc.value.level == 0
+
+    def test_sanitize_option_round_trips_through_with_(self):
+        options = DEFAULT_OPTIONS.with_(sanitize=True)
+        assert options.sanitize is True
+        assert DEFAULT_OPTIONS.sanitize is False
