@@ -114,7 +114,7 @@ def __getattr__(name):
     # ordering stack pulls in more code than a plain partition call needs.
     import importlib
 
-    if name in {"matrices", "spectral", "ordering", "geometric", "bench", "linalg", "parallel"}:
+    if name in {"matrices", "spectral", "ordering", "geometric", "bench", "linalg", "parallel", "resilience"}:
         module = importlib.import_module(f"repro.{name}")
         globals()[name] = module
         return module

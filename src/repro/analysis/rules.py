@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RP001`` … ``RP008``).
+"""The repo-specific lint rules (``RP001`` … ``RP009``).
 
 Each rule encodes an idiom this codebase relies on for *correctness* — the
 delicate incremental machinery of the multilevel pipeline fails silently
@@ -19,6 +19,9 @@ RP005     raised exceptions derive from ``ReproError`` (callers catch
 RP006     no ``print()`` in library code (CLI and bench excepted)
 RP007     package ``__init__`` modules declare ``__all__``
 RP008     ``§N.M`` docstring citations must exist in ``PAPER.md``
+RP009     a ``ReproError`` fallback handler in ``core/``/``ordering/``
+          must record the event to a ``ResilienceReport`` or re-raise
+          (silent fallbacks make degraded results unauditable)
 ========  ============================================================
 
 Suppress a deliberate exception with ``# repro: noqa[RPxxx]`` plus a
@@ -482,6 +485,71 @@ class PaperSectionRule(Rule):
                         )
 
 
+#: ``ReproError`` and its subclasses — the names RP009 treats as library
+#: fallback catches (mirrors :mod:`repro.utils.errors`).
+_REPRO_ERRORS = frozenset(
+    {
+        "ReproError",
+        "ConfigurationError",
+        "GraphValidationError",
+        "PartitionError",
+        "OrderingError",
+        "SpectralConvergenceError",
+        "DeadlineExceededError",
+        "SanitizerError",
+        "UnknownWorkloadError",
+    }
+)
+
+
+class FallbackRecordRule(Rule):
+    """RP009 — fallback handlers in the pipeline must leave an audit trail.
+
+    The resilience design (docs/RESILIENCE.md) promises that every
+    degraded result says *how* it degraded: a ``ResilienceReport`` event
+    for each fallback.  An ``except ReproError``-family handler inside
+    ``core/`` or ``ordering/`` that neither re-raises nor calls
+    ``*.record(...)`` breaks that promise — the run silently produces a
+    different (worse) answer with no trace.  Handlers that re-raise (even
+    conditionally) are exempt, as are modules outside the pipeline
+    packages.
+    """
+
+    id = "RP009"
+    name = "record-fallback"
+    summary = "ReproError fallback without a ResilienceReport record"
+
+    _PACKAGES = frozenset({"core", "ordering"})
+
+    def check(self, ctx):
+        if not self._PACKAGES.intersection(ctx.parts):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            types = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            caught = [n for n in map(_operand_name, types) if n in _REPRO_ERRORS]
+            if not caught:
+                continue
+            reraises = any(isinstance(inner, ast.Raise) for inner in ast.walk(node))
+            records = any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "record"
+                for inner in ast.walk(node)
+            )
+            if not reraises and not records:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"'except {caught[0]}' falls back without recording to a "
+                    "ResilienceReport; call report.record(...) or re-raise "
+                    "so degraded results stay auditable",
+                )
+
+
 #: The full rule set, in id order.
 RULES = (
     SeededRandomRule,
@@ -492,6 +560,7 @@ RULES = (
     NoPrintRule,
     DunderAllRule,
     PaperSectionRule,
+    FallbackRecordRule,
 )
 
 

@@ -15,6 +15,10 @@ knobs the pytest benchmarks honour:
     subset; ``all`` selects the experiment's full paper set.
 ``REPRO_BENCH_SEED``
     Seed for all experiments (default 1995 — "fixed seed" as in §4).
+``REPRO_BENCH_DEADLINE``
+    Optional per-partition wall-clock budget in seconds (unset = no
+    deadline); exercises the deadline-degraded paths of
+    docs/RESILIENCE.md under benchmark load.
 """
 
 from __future__ import annotations
@@ -40,6 +44,12 @@ def bench_scale() -> float:
 def bench_seed() -> int:
     """Experiment seed from ``REPRO_BENCH_SEED``."""
     return int(os.environ.get("REPRO_BENCH_SEED", "1995"))
+
+
+def bench_deadline() -> float | None:
+    """Per-partition wall-clock budget from ``REPRO_BENCH_DEADLINE``."""
+    raw = os.environ.get("REPRO_BENCH_DEADLINE", "")
+    return float(raw) if raw else None
 
 
 def bench_matrices(default: list[str], full: list[str]) -> list[str]:

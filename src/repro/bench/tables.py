@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from repro.bench.harness import Row, bench_seed
+from repro.bench.harness import Row, bench_deadline, bench_seed
 from repro.core import partition
 from repro.core.options import (
     DEFAULT_OPTIONS,
@@ -46,7 +46,14 @@ REFINE_POLICIES = [
 
 
 def run_kway(graph, nparts, options, seed):
-    """One timed k-way partition; returns (cut, timers dict, wall seconds)."""
+    """One timed k-way partition; returns (cut, timers dict, wall seconds).
+
+    Honours ``REPRO_BENCH_DEADLINE``: when set, every benchmark partition
+    runs under that wall-clock budget (degrading rather than overrunning).
+    """
+    deadline = bench_deadline()
+    if deadline is not None and options.deadline is None:
+        options = options.with_(deadline=deadline)
     start = time.perf_counter()
     result = partition(graph, nparts, options, np.random.default_rng(seed))
     wall = time.perf_counter() - start

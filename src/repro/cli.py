@@ -39,6 +39,24 @@ def _add_common_options(p):
         choices=["none", "gr", "klr", "bgr", "bklr", "bklgr"],
         help="refinement policy (default bklgr)",
     )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget; refinement degrades near the limit and the "
+            "remaining work falls back to cheap assignment once it expires "
+            "(see docs/RESILIENCE.md)"
+        ),
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="reseeded retries of an invalid initial bisection (default 3)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,7 +142,18 @@ def _options_from(args):
         initial=args.initial,
         refinement=args.refinement,
         seed=args.seed,
+        deadline=args.deadline,
+        max_init_retries=args.max_retries,
     )
+
+
+def _print_resilience(report) -> None:
+    """Print the resilience audit trail (nothing on a clean run)."""
+    if not report:
+        return
+    print(f"resilience: {len(report)} event(s)")
+    for event in report:
+        print(f"  {event}")
 
 
 def _cmd_partition(args) -> int:
@@ -145,6 +174,7 @@ def _cmd_partition(args) -> int:
     for phase in ("CTime", "ITime", "RTime", "PTime"):
         if phase in result.timers:
             print(f"{phase}:   {result.timers[phase]:.3f}s")
+    _print_resilience(getattr(result, "resilience", None))
     if args.report:
         from repro.graph import partition_report
 
@@ -179,6 +209,7 @@ def _cmd_order(args) -> int:
     print(f"opcount:      {stats.opcount}")
     print(f"tree height:  {stats.tree_height}")
     print(f"parallelism:  {stats.available_parallelism:.2f}")
+    _print_resilience(ordering.meta.get("resilience"))
     if args.output:
         np.savetxt(args.output, ordering.perm, fmt="%d")
         print(f"permutation written to {args.output}")

@@ -63,7 +63,9 @@ class CoarseningHierarchy:
         return values
 
 
-def coarsen(graph, options=DEFAULT_OPTIONS, rng=None) -> CoarseningHierarchy:
+def coarsen(
+    graph, options=DEFAULT_OPTIONS, rng=None, *, faults=None, report=None
+) -> CoarseningHierarchy:
     """Run the coarsening phase on ``graph``.
 
     Parameters
@@ -76,6 +78,15 @@ def coarsen(graph, options=DEFAULT_OPTIONS, rng=None) -> CoarseningHierarchy:
         ``max_coarsen_levels``.
     rng:
         Seed or generator for the randomized matchings.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; its
+        ``matching`` site simulates a degenerate matching (no shrinkage),
+        stopping coarsening at the current level.
+    report:
+        Optional :class:`~repro.resilience.report.ResilienceReport`; a
+        ``stall`` event is recorded whenever coarsening stops above
+        ``coarsen_to`` — injected or natural — since downstream phases then
+        run on a larger-than-intended coarsest graph.
 
     Returns
     -------
@@ -94,11 +105,29 @@ def coarsen(graph, options=DEFAULT_OPTIONS, rng=None) -> CoarseningHierarchy:
         and hierarchy.nlevels <= options.max_coarsen_levels
     ):
         level = hierarchy.nlevels - 1
+        if faults and faults.trip("matching"):
+            if report is not None:
+                report.record(
+                    "stall",
+                    "coarsen",
+                    f"injected degenerate matching at {current.nvtxs} "
+                    "vertices; coarsening stopped",
+                    level=level,
+                )
+            break
         match = compute_matching(current, options.matching, rng, cewgt)
         if san:
             san.check_matching(current, match, level=level)
         cmap, ncoarse = coarse_map_from_matching(match)
         if ncoarse >= current.nvtxs * options.coarsen_stall_ratio:
+            if report is not None:
+                report.record(
+                    "stall",
+                    "coarsen",
+                    f"matching stalled ({current.nvtxs} → {ncoarse} "
+                    "vertices); coarsening stopped",
+                    level=level,
+                )
             break  # matching stalled; further levels would spin
         if options.matching is MatchingScheme.HCM:
             cewgt = collapsed_edge_weight(current, cmap, ncoarse, cewgt)

@@ -24,9 +24,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.options import DEFAULT_OPTIONS, InitialScheme
-from repro.graph.partition import Bisection
-from repro.utils.errors import PartitionError
-from repro.utils.rng import as_generator
+from repro.graph.partition import Bisection, edge_cut, part_weights
+from repro.utils.errors import PartitionError, SpectralConvergenceError
+from repro.utils.rng import as_generator, spawn_child
 
 
 def _grown_bisection(graph, where) -> Bisection:
@@ -128,11 +128,17 @@ def gggp_bisection(graph, target0=None, rng=None, trials=5) -> Bisection:
     return best
 
 
-def sbp_bisection(graph, target0=None, rng=None) -> Bisection:
+def sbp_bisection(graph, target0=None, rng=None, *, faults=None) -> Bisection:
     """Spectral bisection (SBP) of a small graph via the dense Fiedler vector.
 
     Intended for coarsest graphs (the dense eigensolve is O(n³)); for large
     graphs use :mod:`repro.spectral` which provides a Lanczos path.
+
+    Raises
+    ------
+    repro.utils.errors.SpectralConvergenceError
+        Propagated unmasked from the eigensolver — the caller
+        (:func:`initial_bisection`) owns the fallback decision.
     """
     from repro.spectral.fiedler import fiedler_vector
 
@@ -142,7 +148,7 @@ def sbp_bisection(graph, target0=None, rng=None) -> Bisection:
     total = graph.total_vwgt()
     if target0 is None:
         target0 = total // 2
-    fiedler = fiedler_vector(graph, rng=rng)
+    fiedler = fiedler_vector(graph, rng=rng, faults=faults)
     return split_at_weighted_median(graph, fiedler, target0)
 
 
@@ -164,12 +170,139 @@ def split_at_weighted_median(graph, values, target0) -> Bisection:
     return Bisection.from_where(graph, where)
 
 
-def initial_bisection(graph, options=DEFAULT_OPTIONS, rng=None, target0=None):
-    """Dispatch to the configured initial-partitioning scheme."""
-    rng = as_generator(rng if rng is not None else options.seed)
-    scheme = InitialScheme(options.initial)
+#: Scheme order tried on failure: spectral falls back to the combinatorial
+#: growers (which cannot fail to converge), and each grower falls back to
+#: the other before the terminal weighted-median split.
+FALLBACK_CHAINS = {
+    InitialScheme.SBP: (InitialScheme.SBP, InitialScheme.GGGP, InitialScheme.GGP),
+    InitialScheme.GGGP: (InitialScheme.GGGP, InitialScheme.GGP),
+    InitialScheme.GGP: (InitialScheme.GGP, InitialScheme.GGGP),
+}
+
+
+def _run_scheme(scheme, graph, options, rng, target0, faults):
     if scheme is InitialScheme.GGP:
         return ggp_bisection(graph, target0, rng, options.ggp_trials)
     if scheme is InitialScheme.GGGP:
         return gggp_bisection(graph, target0, rng, options.gggp_trials)
-    return sbp_bisection(graph, target0, rng)
+    return sbp_bisection(graph, target0, rng, faults=faults)
+
+
+def _corrupt_bisection(graph) -> Bisection:
+    """The injected ``initial`` fault: everything on one side but the single
+    lightest vertex — a grossly unbalanced (but structurally well-formed)
+    bisection, the shape of failure a buggy or degenerate scheme produces."""
+    where = np.ones(graph.nvtxs, dtype=np.int8)
+    where[int(np.argmin(graph.vwgt))] = 0
+    return Bisection.from_where(graph, where)
+
+
+def initial_defect(graph, bisection, target0, ubfactor) -> str | None:
+    """Validate an initial bisection; return a defect description or None.
+
+    The balance cap is deliberately loose — ``ubfactor × the larger target
+    plus one maximum vertex weight`` — so every legitimate scheme output
+    passes (coarse vertices are heavy, exact balance is unattainable) while
+    the pathological all-on-one-side shapes are caught.
+    """
+    n = graph.nvtxs
+    where = np.asarray(bisection.where)
+    if where.shape != (n,):
+        return f"a where array of length {where.shape} for {n} vertices"
+    if n and not np.isin(where, (0, 1)).all():
+        return "part labels outside {0, 1}"
+    pwgts = part_weights(graph, where, 2)
+    if not np.array_equal(pwgts, np.asarray(bisection.pwgts)):
+        return (
+            f"part-weight drift (recorded {np.asarray(bisection.pwgts).tolist()}, "
+            f"actual {pwgts.tolist()})"
+        )
+    if edge_cut(graph, where) != bisection.cut:
+        return "edge-cut drift between the record and the assignment"
+    if n >= 2 and (pwgts == 0).any():
+        return "an empty side"
+    total = int(graph.total_vwgt())
+    target1 = total - target0
+    cap = int(np.ceil(ubfactor * max(target0, target1))) + int(graph.vwgt.max())
+    if int(pwgts.max()) > cap:
+        return f"gross imbalance (pwgts={pwgts.tolist()}, cap={cap})"
+    return None
+
+
+def initial_bisection(
+    graph,
+    options=DEFAULT_OPTIONS,
+    rng=None,
+    target0=None,
+    *,
+    faults=None,
+    report=None,
+):
+    """Dispatch to the configured initial-partitioning scheme, resiliently.
+
+    Walks the scheme's :data:`FALLBACK_CHAINS` entry.  Each scheme gets
+    ``1 + options.max_init_retries`` attempts; an attempt that raises
+    :class:`~repro.utils.errors.SpectralConvergenceError` skips straight to
+    the next scheme, and one that produces an invalid bisection (see
+    :func:`initial_defect`) is retried with a fresh child seed.  The
+    terminal fallback — a weighted-median split by vertex id — cannot fail
+    and is accepted unconditionally.  Every fallback and retry is recorded
+    to ``report`` when one is supplied.
+
+    The first attempt consumes ``rng`` exactly as the pre-resilience
+    dispatch did, so results on the no-failure path are bit-identical.
+    """
+    rng = as_generator(rng if rng is not None else options.seed)
+    n = graph.nvtxs
+    if n < 2:
+        raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
+    total = graph.total_vwgt()
+    if target0 is None:
+        target0 = total // 2
+
+    chain = FALLBACK_CHAINS[InitialScheme(options.initial)]
+    first_attempt = True
+    for scheme in chain:
+        for attempt in range(options.max_init_retries + 1):
+            attempt_rng = rng if first_attempt else spawn_child(rng)
+            first_attempt = False
+            try:
+                bisection = _run_scheme(
+                    scheme, graph, options, attempt_rng, target0, faults
+                )
+            except SpectralConvergenceError as exc:
+                if report is not None:
+                    report.record(
+                        "fallback",
+                        "initial",
+                        f"{scheme.value} failed ({exc}); trying next scheme",
+                    )
+                break  # retrying a deterministic solver is pointless
+            if faults and faults.trip("initial"):
+                bisection = _corrupt_bisection(graph)
+            defect = initial_defect(graph, bisection, target0, options.ubfactor)
+            if defect is None:
+                return bisection
+            if attempt < options.max_init_retries:
+                if report is not None:
+                    report.record(
+                        "retry",
+                        "initial",
+                        f"{scheme.value} produced {defect}; "
+                        f"reseeding (attempt {attempt + 2})",
+                    )
+            elif report is not None:
+                report.record(
+                    "fallback",
+                    "initial",
+                    f"{scheme.value} still invalid after "
+                    f"{options.max_init_retries} reseeds ({defect}); "
+                    "trying next scheme",
+                )
+    if report is not None:
+        report.record(
+            "fallback",
+            "initial",
+            "all schemes failed; weighted-median split by vertex id",
+        )
+    return split_at_weighted_median(graph, np.arange(n), target0)

@@ -16,11 +16,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.initial import split_at_weighted_median
 from repro.core.multilevel import bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import extract_subgraph
 from repro.graph.partition import KWayPartition, edge_cut, part_weights
-from repro.utils.errors import PartitionError
+from repro.resilience.deadline import DeadlineGuard
+from repro.resilience.faults import fault_injector
+from repro.resilience.report import ResilienceReport
+from repro.utils.errors import (
+    DeadlineExceededError,
+    PartitionError,
+    SpectralConvergenceError,
+)
 from repro.utils.rng import as_generator, spawn_child
 from repro.utils.timing import PhaseTimer
 
@@ -52,7 +60,12 @@ def partition(
     Returns
     -------
     repro.graph.partition.KWayPartition
-        With ``timers`` carrying the accumulated CTime/ITime/RTime/PTime.
+        With ``timers`` carrying the accumulated CTime/ITime/RTime/PTime
+        and ``resilience`` holding the run's
+        :class:`~repro.resilience.report.ResilienceReport`.  Unlike
+        :func:`~repro.core.multilevel.bisect`, an expired deadline never
+        raises here: the remaining subproblems degrade to weight-contiguous
+        assignment and the partition completes.
     """
     if nparts < 1:
         raise PartitionError(f"nparts must be >= 1, got {nparts}")
@@ -67,8 +80,13 @@ def partition(
     options = options.with_(ubfactor=float(options.ubfactor) ** (1.0 / depth))
     where = np.zeros(graph.nvtxs, dtype=np.int32)
     timers = PhaseTimer()
+    faults = fault_injector(options)
+    report = ResilienceReport()
+    guard = None
+    if options.deadline is not None:
+        guard = DeadlineGuard(options.deadline, timer=timers)
     _recurse(graph, nparts, 0, where, np.arange(graph.nvtxs, dtype=np.int64),
-             options, rng, timers, bisector)
+             options, rng, timers, bisector, faults, report, guard)
     result = KWayPartition(
         where=where,
         nparts=nparts,
@@ -76,10 +94,21 @@ def partition(
         pwgts=part_weights(graph, where, nparts),
     )
     result.timers = timers.totals()
+    result.resilience = report
     return result
 
 
-def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector):
+def _assign_by_weight(graph, k) -> np.ndarray:
+    """Deadline-degraded k-way assignment: contiguous vertex-id ranges of
+    roughly equal weight — O(n), no bisections, never fails."""
+    total = max(int(graph.total_vwgt()), 1)
+    cum = np.cumsum(graph.vwgt) - graph.vwgt  # exclusive prefix weights
+    part = (cum * k) // total
+    return np.minimum(part, k - 1).astype(np.int32)
+
+
+def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
+             faults, report, guard):
     """Assign parts ``first_part .. first_part+k-1`` to ``graph``'s vertices.
 
     ``vmap`` maps this subgraph's vertices to the original graph; ``where``
@@ -92,16 +121,52 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector):
         # One vertex per part; no bisection needed (k = n base case).
         where[vmap] = first_part + np.arange(k, dtype=np.int32)
         return
+    if guard is not None and guard.expired():
+        # Budget gone: finish this whole subtree with the cheap assignment.
+        where[vmap] = first_part + _assign_by_weight(graph, k)
+        report.record(
+            "degradation",
+            "kway",
+            f"deadline expired; weight-contiguous assignment of parts "
+            f"{first_part}..{first_part + k - 1}",
+        )
+        return
     k_left = (k + 1) // 2
     target0 = (graph.total_vwgt() * k_left) // k
 
     child_rng = spawn_child(rng)
-    if bisector is None:
-        result = bisect(graph, options, child_rng, target0=target0)
-    else:
-        result = bisector(graph, options, child_rng, target0)
-    timers.merge(result.timers)
-    side = np.asarray(result.bisection.where).copy()
+    try:
+        if bisector is None:
+            result = bisect(graph, options, child_rng, target0=target0,
+                            faults=faults, report=report, guard=guard)
+        else:
+            try:
+                result = bisector(graph, options, child_rng, target0)
+            except SpectralConvergenceError as exc:
+                report.record(
+                    "fallback",
+                    "kway",
+                    f"bisector failed ({exc}); multilevel bisection fallback",
+                )
+                result = bisect(graph, options, spawn_child(rng),
+                                target0=target0, faults=faults, report=report,
+                                guard=guard)
+        timers.merge(result.timers)
+        side = np.asarray(result.bisection.where).copy()
+    except DeadlineExceededError as exc:
+        report.record(
+            "degradation",
+            "kway",
+            "deadline expired mid-bisection; continuing from "
+            + ("best-so-far split" if exc.best is not None
+               else "weighted-median split"),
+        )
+        if exc.best is not None:
+            side = np.asarray(exc.best.where).copy()
+        else:
+            side = np.asarray(
+                split_at_weighted_median(graph, np.arange(graph.nvtxs), target0).where
+            ).copy()
 
     # Each side must hold at least as many vertices as parts it will be
     # split into; top up a too-small side from the other (k close to n).
@@ -121,6 +186,6 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector):
     sub_left, _ = extract_subgraph(graph, left)
     sub_right, _ = extract_subgraph(graph, right)
     _recurse(sub_left, k_left, first_part, where, vmap[left],
-             options, rng, timers, bisector)
+             options, rng, timers, bisector, faults, report, guard)
     _recurse(sub_right, k - k_left, first_part + k_left, where, vmap[right],
-             options, rng, timers, bisector)
+             options, rng, timers, bisector, faults, report, guard)

@@ -25,9 +25,12 @@ import numpy as np
 from repro.analysis.sanitize import sanitizer
 from repro.core.coarsen import CoarseningHierarchy, coarsen
 from repro.core.initial import initial_bisection
-from repro.core.options import DEFAULT_OPTIONS
+from repro.core.options import DEFAULT_OPTIONS, RefinePolicy
 from repro.core.refine import PassStats, refine_bisection
 from repro.graph.partition import Bisection, part_weights
+from repro.resilience.deadline import DeadlineGuard
+from repro.resilience.faults import fault_injector
+from repro.resilience.report import ResilienceReport
 from repro.utils.errors import PartitionError
 from repro.utils.rng import as_generator
 from repro.utils.timing import PhaseTimer
@@ -53,6 +56,9 @@ class MultilevelResult:
         final cut, which is how Table 3 measures coarsening quality.
     stats:
         Aggregated refinement pass statistics.
+    resilience:
+        Audit trail of every fallback, retry, degradation and stall that
+        fired during the run (empty on a clean run).
     """
 
     bisection: Bisection
@@ -61,11 +67,76 @@ class MultilevelResult:
     coarsest_nvtxs: int
     initial_cut: int
     stats: PassStats = field(default_factory=PassStats)
+    resilience: ResilienceReport = field(default_factory=ResilienceReport)
 
 
 def project_where(where_coarse, cmap) -> np.ndarray:
     """Project a coarse partition assignment to the finer level."""
     return np.asarray(where_coarse)[cmap]
+
+
+#: Deadline/fault degradation: each multi-pass refinement policy maps to its
+#: single-pass boundary counterpart (same move engine, bounded work).
+_DEGRADE = {
+    RefinePolicy.BKLR: RefinePolicy.BGR,
+    RefinePolicy.BKLGR: RefinePolicy.BGR,
+    RefinePolicy.KLR: RefinePolicy.GR,
+}
+
+
+def _effective_policy(policy, guard, faults, report, level):
+    """The refinement policy to run at ``level``, degraded when necessary."""
+    degraded = _DEGRADE.get(policy)
+    if degraded is None:
+        return policy
+    if faults and faults.trip("refine"):
+        if report is not None:
+            report.record(
+                "degradation",
+                "refine",
+                f"injected pass-budget exhaustion: {policy.value} → "
+                f"{degraded.value}",
+                level=level,
+            )
+        return degraded
+    if guard is not None and guard.nearing():
+        if report is not None:
+            report.record(
+                "degradation",
+                "refine",
+                f"deadline nearing ({guard.remaining():.3f}s of "
+                f"{guard.deadline:.3f}s left): {policy.value} → "
+                f"{degraded.value}",
+                level=level,
+            )
+        return degraded
+    return policy
+
+
+def _checkpoint(guard, faults, report, hierarchy, bisection, level, phase):
+    """Deadline checkpoint at a phase boundary.
+
+    When the guard has expired (or the ``deadline`` fault site forces it
+    to), the current coarse bisection — if any — is projected down to the
+    finest graph and attached to the raised
+    :class:`~repro.utils.errors.DeadlineExceededError` as the best result
+    so far, so callers can degrade instead of failing.
+    """
+    if guard is None:
+        return
+    # The fault site is consulted only once a bisection exists, so an
+    # injected expiry always carries a usable best-so-far.
+    if bisection is not None and faults and faults.trip("deadline"):
+        guard.force_expire()
+    if not guard.expired():
+        return
+    best = None
+    if bisection is not None:
+        where = np.asarray(bisection.where)
+        for cmap in reversed(hierarchy.cmaps[:level]):
+            where = where[cmap]
+        best = Bisection.from_where(hierarchy.graphs[0], where)
+    guard.check(phase=phase, level=level, best=best, report=report)
 
 
 def bisect(
@@ -75,6 +146,9 @@ def bisect(
     *,
     target0=None,
     hierarchy: CoarseningHierarchy | None = None,
+    faults=None,
+    report=None,
+    guard=None,
 ) -> MultilevelResult:
     """Multilevel bisection of ``graph``.
 
@@ -91,16 +165,43 @@ def bisect(
         Pre-computed coarsening hierarchy to reuse (the matching-ablation
         bench coarsens once and tries several refinements); must have been
         built from ``graph``.
+    faults:
+        Fault injector to use; default resolves ``options.faults`` /
+        ``REPRO_FAULTS`` via
+        :func:`~repro.resilience.faults.fault_injector`.  Recursive drivers
+        (k-way, nested dissection) pass one shared injector so clause
+        counts span the whole run.
+    report:
+        :class:`~repro.resilience.report.ResilienceReport` to append to
+        (shared by recursive drivers); a fresh one is created otherwise and
+        attached to the result as ``result.resilience``.
+    guard:
+        :class:`~repro.resilience.deadline.DeadlineGuard` spanning an outer
+        run; when ``None`` and ``options.deadline`` is set, a guard is
+        armed here covering this bisection alone.
 
     Returns
     -------
     MultilevelResult
+
+    Raises
+    ------
+    repro.utils.errors.DeadlineExceededError
+        When a deadline guard expires; ``exc.best`` carries the best
+        finest-graph bisection found before the budget ran out (or ``None``
+        if none existed yet) and ``exc.report`` the audit trail.
     """
     if graph.nvtxs < 2:
         raise PartitionError("cannot bisect a graph with fewer than 2 vertices")
     rng = as_generator(rng if rng is not None else options.seed)
     timers = PhaseTimer()
     stats = PassStats()
+    if faults is None:
+        faults = fault_injector(options)
+    if report is None:
+        report = ResilienceReport()
+    if guard is None and options.deadline is not None:
+        guard = DeadlineGuard(options.deadline, timer=timers)
     total = graph.total_vwgt()
     if target0 is None:
         target0 = total // 2
@@ -117,13 +218,16 @@ def bisect(
     # --- Phase 1: coarsening -----------------------------------------
     if hierarchy is None:
         with timers.phase("CTime"):
-            hierarchy = coarsen(graph, options, rng)
+            hierarchy = coarsen(graph, options, rng, faults=faults, report=report)
     coarsest = hierarchy.coarsest
+    _checkpoint(guard, faults, report, hierarchy, None, hierarchy.nlevels - 1, "coarsen")
 
     # --- Phase 2: initial partition ----------------------------------
     san = sanitizer(options)
     with timers.phase("ITime"):
-        bisection = initial_bisection(coarsest, options, rng, target0)
+        bisection = initial_bisection(
+            coarsest, options, rng, target0, faults=faults, report=report
+        )
     initial_cut = bisection.cut
     if san:
         san.check_bisection(
@@ -136,16 +240,18 @@ def bisect(
         )
 
     # --- Phase 3: uncoarsening ---------------------------------------
+    coarsest_level = hierarchy.nlevels - 1
     with timers.phase("RTime"):
         refine_bisection(
             coarsest,
             bisection,
-            options.refinement,
+            _effective_policy(options.refinement, guard, faults, report, coarsest_level),
             options,
             maxpwgt=maxpwgt,
             original_nvtxs=graph.nvtxs,
             stats=stats,
         )
+    _checkpoint(guard, faults, report, hierarchy, bisection, coarsest_level, "initial")
     for level in range(hierarchy.nlevels - 2, -1, -1):
         fine = hierarchy.graphs[level]
         with timers.phase("PTime"):
@@ -168,12 +274,13 @@ def bisect(
             refine_bisection(
                 fine,
                 bisection,
-                options.refinement,
+                _effective_policy(options.refinement, guard, faults, report, level),
                 options,
                 maxpwgt=maxpwgt,
                 original_nvtxs=graph.nvtxs,
                 stats=stats,
             )
+        _checkpoint(guard, faults, report, hierarchy, bisection, level, "refine")
 
     return MultilevelResult(
         bisection=bisection,
@@ -182,4 +289,5 @@ def bisect(
         coarsest_nvtxs=coarsest.nvtxs,
         initial_cut=initial_cut,
         stats=stats,
+        resilience=report,
     )

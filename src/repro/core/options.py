@@ -97,6 +97,24 @@ class MultilevelOptions:
         boundary that raise :class:`~repro.utils.errors.SanitizerError`
         when the incremental bookkeeping drifts.  Also enabled globally by
         ``REPRO_SANITIZE=1``; free when off.
+    faults:
+        Fault-injection spec (:mod:`repro.resilience.faults`), e.g.
+        ``"lanczos"`` or ``"initial:2;seed=7"`` — deterministic, seeded
+        failures at phase boundaries for exercising the fallback chains.
+        ``None`` (the default) defers to the ``REPRO_FAULTS`` environment
+        variable; when that is also unset, injection is off and free.
+    deadline:
+        Wall-clock budget in seconds for one driver entry (``bisect``,
+        ``partition``, an ordering).  Refinement degrades (BKLR → BGR) as
+        the deadline nears; ``bisect`` raises
+        :class:`~repro.utils.errors.DeadlineExceededError` carrying the
+        best-so-far bisection once it expires, while ``partition`` and
+        nested dissection degrade to cheap assignment instead of raising.
+        ``None`` (default) disables the guard entirely.
+    max_init_retries:
+        How many times an initial bisection that fails validation (wrong
+        shape, empty side, gross imbalance) is retried with a fresh seed
+        before falling back to the next scheme in the chain.
     """
 
     matching: MatchingScheme = MatchingScheme.HEM
@@ -115,6 +133,9 @@ class MultilevelOptions:
     gain_table: str = "heap"
     seed: int = 4242
     sanitize: bool = False
+    faults: str | None = None
+    deadline: float | None = None
+    max_init_retries: int = 3
 
     def with_(self, **kwargs) -> "MultilevelOptions":
         """Return a copy with the given fields replaced."""
@@ -133,6 +154,17 @@ class MultilevelOptions:
             raise ConfigurationError("trial counts must be positive")
         if self.gain_table not in ("heap", "bucket"):
             raise ConfigurationError("gain_table must be 'heap' or 'bucket'")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive when set")
+        if self.max_init_retries < 0:
+            raise ConfigurationError("max_init_retries must be >= 0")
+        if self.faults is not None:
+            # Validate eagerly so a bad spec fails at configuration time,
+            # not halfway through a partition.  Local import: resilience
+            # depends only on utils, so there is no cycle.
+            from repro.resilience.faults import parse_fault_spec
+
+            parse_fault_spec(self.faults)
 
 
 #: The paper's recommended configuration (HEM + GGGP + BKLGR).

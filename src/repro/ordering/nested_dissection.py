@@ -29,6 +29,10 @@ from repro.graph.components import connected_components, extract_subgraph
 from repro.ordering.base import Ordering
 from repro.ordering.mmd import mmd_ordering
 from repro.ordering.vertex_cover import vertex_separator_from_bisection
+from repro.resilience.deadline import DeadlineGuard
+from repro.resilience.faults import fault_injector
+from repro.resilience.report import ResilienceReport
+from repro.utils.errors import DeadlineExceededError, ReproError, SanitizerError
 from repro.utils.rng import as_generator, spawn_child
 
 
@@ -44,16 +48,27 @@ def mlnd_ordering(
 
     Uses the multilevel bisector (HEM + GGGP + BKLGR by default) for the
     edge separator at every level and minimum vertex cover for the vertex
-    separator.
+    separator.  One fault injector, resilience report and deadline guard
+    span the whole dissection; the report lands in
+    ``ordering.meta["resilience"]``.
     """
     rng = as_generator(rng if rng is not None else options.seed)
+    faults = fault_injector(options)
+    report = ResilienceReport()
+    guard = None
+    if options.deadline is not None:
+        guard = DeadlineGuard(options.deadline)
 
     def bisector(subgraph, child_rng):
-        return ml_bisect(subgraph, options, child_rng).bisection.where
+        return ml_bisect(
+            subgraph, options, child_rng, faults=faults, report=report,
+            guard=guard,
+        ).bisection.where
 
     return nested_dissection_ordering(
         graph, bisector, rng, leaf_size=leaf_size, method="mlnd",
-        refine_separator=refine_separator, options=options,
+        refine_separator=refine_separator, options=options, report=report,
+        guard=guard,
     )
 
 
@@ -66,6 +81,8 @@ def nested_dissection_ordering(
     method: str = "nd",
     refine_separator: bool = True,
     options=None,
+    report=None,
+    guard=None,
 ) -> Ordering:
     """Generic nested-dissection driver.
 
@@ -82,6 +99,17 @@ def nested_dissection_ordering(
     options:
         Only consulted for ``sanitize``: when set (or ``REPRO_SANITIZE=1``)
         every separator is checked to actually separate its subgraph.
+    report:
+        Optional :class:`~repro.resilience.report.ResilienceReport`; a
+        fresh one is created otherwise.  Attached to the result as
+        ``ordering.meta["resilience"]``.  A subgraph whose bisector raises
+        a :class:`~repro.utils.errors.ReproError` is ordered with MMD
+        instead (recorded as a fallback); sanitizer failures still
+        propagate — they mean the pipeline is broken, not the input.
+    guard:
+        Optional :class:`~repro.resilience.deadline.DeadlineGuard`; once it
+        expires, every remaining subgraph is ordered with MMD (recorded as
+        a degradation) — dissection never raises on deadline.
 
     Returns
     -------
@@ -89,6 +117,8 @@ def nested_dissection_ordering(
     """
     rng = as_generator(rng)
     san = sanitizer(options)
+    if report is None:
+        report = ResilienceReport()
     n = graph.nvtxs
     perm = np.empty(n, dtype=np.int64)
 
@@ -118,7 +148,44 @@ def nested_dissection_ordering(
                 pos += len(ids)
             continue
 
-        where = np.asarray(bisector(sub, spawn_child(rng)))
+        if guard is not None and guard.expired():
+            # Budget gone: MMD the rest of the tree — valid ordering, no
+            # more dissection levels.
+            leaf = mmd_ordering(sub)
+            perm[lo:hi] = vmap[leaf.perm]
+            report.record(
+                "degradation",
+                "ordering",
+                f"deadline expired; MMD on remaining {nv}-vertex subgraph",
+                level=depth,
+            )
+            continue
+
+        try:
+            where = np.asarray(bisector(sub, spawn_child(rng)))
+        except SanitizerError:
+            raise  # a broken invariant is a bug, not a recoverable fault
+        except DeadlineExceededError:
+            leaf = mmd_ordering(sub)
+            perm[lo:hi] = vmap[leaf.perm]
+            report.record(
+                "degradation",
+                "ordering",
+                f"deadline expired mid-bisection; MMD on {nv}-vertex "
+                "subgraph",
+                level=depth,
+            )
+            continue
+        except ReproError as exc:
+            leaf = mmd_ordering(sub)
+            perm[lo:hi] = vmap[leaf.perm]
+            report.record(
+                "fallback",
+                "ordering",
+                f"bisector failed ({exc}); MMD on {nv}-vertex subgraph",
+                level=depth,
+            )
+            continue
         sep = vertex_separator_from_bisection(sub, where)
         if refine_separator and len(sep):
             from repro.ordering.separator_refine import (
@@ -146,6 +213,13 @@ def nested_dissection_ordering(
             # swallows a side): fall back to MMD on the whole subgraph.
             leaf = mmd_ordering(sub)
             perm[lo:hi] = vmap[leaf.perm]
+            report.record(
+                "fallback",
+                "ordering",
+                f"degenerate split (separator swallowed a side); MMD on "
+                f"{nv}-vertex subgraph",
+                level=depth,
+            )
             continue
 
         # Separator vertices are numbered last within [lo, hi).
@@ -156,4 +230,6 @@ def nested_dissection_ordering(
         stack.append((a_sub, vmap[a_ids], lo, lo + len(a_ids), depth + 1))
         stack.append((b_sub, vmap[b_ids], lo + len(a_ids), sep_lo, depth + 1))
 
-    return Ordering.from_perm(perm, method)
+    ordering = Ordering.from_perm(perm, method)
+    ordering.meta["resilience"] = report
+    return ordering

@@ -1,0 +1,48 @@
+"""Resilience engineering for the multilevel pipeline.
+
+The paper's coarsen → initial-partition → refine pipeline assumes every
+phase succeeds; production partitioners survive because they engineer
+around the failures (Sanders & Schulz; Holtgrewe et al.).  This package is
+that engineering for :mod:`repro`:
+
+* **fault injection** (:mod:`repro.resilience.faults`) — deterministic,
+  seeded failures at phase boundaries, activated by ``REPRO_FAULTS=<spec>``
+  or ``MultilevelOptions.faults``, free when off;
+* **deadline guarding** (:mod:`repro.resilience.deadline`) — wall-clock
+  budgets that degrade refinement near the limit and raise
+  :class:`~repro.utils.errors.DeadlineExceededError` carrying the best
+  bisection found so far;
+* **the audit trail** (:mod:`repro.resilience.report`) — every fallback,
+  retry and degradation that fired, attached to the result object.
+
+See ``docs/RESILIENCE.md`` for the fault-spec grammar, the fallback chain
+table, and deadline semantics.
+"""
+
+from repro.resilience.deadline import DeadlineGuard
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultClause,
+    FaultInjector,
+    FaultPlan,
+    NullFaultInjector,
+    fault_injector,
+    faults_enabled,
+    parse_fault_spec,
+)
+from repro.resilience.report import EVENT_KINDS, ResilienceEvent, ResilienceReport
+
+__all__ = [
+    "DeadlineGuard",
+    "FAULT_SITES",
+    "FaultClause",
+    "FaultPlan",
+    "FaultInjector",
+    "NullFaultInjector",
+    "fault_injector",
+    "faults_enabled",
+    "parse_fault_spec",
+    "EVENT_KINDS",
+    "ResilienceEvent",
+    "ResilienceReport",
+]

@@ -1,0 +1,116 @@
+"""The ResilienceReport: an audit trail of every fallback that fired.
+
+Graceful degradation is only trustworthy when it is *visible*: a pipeline
+that silently swaps SBP for GGGP, retries a bad initial partition, or cuts
+refinement short under deadline pressure produces results whose provenance
+the caller can no longer explain.  Every degradation path in
+:mod:`repro.core` and :mod:`repro.ordering` therefore records a
+:class:`ResilienceEvent` here (lint rule ``RP009`` enforces this for
+``except ReproError`` fallbacks), and the report rides on the result
+object: ``MultilevelResult.resilience``, ``KWayPartition.resilience``,
+``Ordering.meta["resilience"]``.
+
+Event kinds
+-----------
+``fallback``
+    An algorithm failed and a different one took over (SBP → GGGP,
+    bisector → MMD in nested dissection).
+``retry``
+    A stochastic phase was re-run with a fresh seed after producing an
+    invalid result.
+``degradation``
+    A cheaper variant was substituted under budget pressure (BKLR → BGR
+    near the deadline, contiguous splits after deadline expiry).
+``stall``
+    Coarsening stopped early because matchings made no progress.
+``deadline``
+    The wall-clock deadline fired (paired with a
+    :class:`~repro.utils.errors.DeadlineExceededError` in ``bisect``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResilienceEvent", "ResilienceReport", "EVENT_KINDS"]
+
+#: The recognised event kinds, in the order documented above.
+EVENT_KINDS = ("fallback", "retry", "degradation", "stall", "deadline")
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One recorded fallback/retry/degradation.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    phase:
+        Pipeline phase that degraded (``"coarsen"``, ``"initial"``,
+        ``"refine"``, ``"kway"``, ``"dissect"``).
+    detail:
+        Human-readable description of what happened and what took over.
+    level:
+        Coarsening level / dissection depth, or ``None``.
+    """
+
+    kind: str
+    phase: str
+    detail: str
+    level: int | None = None
+
+    def __str__(self) -> str:
+        at = f"{self.kind}/{self.phase}"
+        if self.level is not None:
+            at += f"@L{self.level}"
+        return f"[{at}] {self.detail}"
+
+
+class ResilienceReport:
+    """Ordered collection of :class:`ResilienceEvent` records.
+
+    Falsy while empty, so result consumers can guard with
+    ``if result.resilience:``.  Reports are shared down recursive drivers
+    (k-way recursion, nested dissection) so one report describes the whole
+    run; :meth:`merge` folds an independently-collected report in.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ResilienceEvent] = []
+
+    def record(self, kind: str, phase: str, detail: str, *, level=None):
+        """Append an event and return it."""
+        event = ResilienceEvent(kind=kind, phase=phase, detail=detail, level=level)
+        self.events.append(event)
+        return event
+
+    def count(self, kind=None, phase=None) -> int:
+        """Number of events, optionally filtered by kind and/or phase."""
+        return sum(
+            1
+            for e in self.events
+            if (kind is None or e.kind == kind)
+            and (phase is None or e.phase == phase)
+        )
+
+    def merge(self, other: "ResilienceReport") -> None:
+        """Fold another report's events into this one (order preserved)."""
+        if other is not self:
+            self.events.extend(other.events)
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering (empty string if no events)."""
+        return "\n".join(str(e) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResilienceReport({len(self.events)} events)"

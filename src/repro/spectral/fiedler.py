@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.spectral.laplacian import LaplacianOperator, dense_laplacian
 from repro.spectral.lanczos import lanczos_smallest
+from repro.utils.errors import SpectralConvergenceError
 from repro.utils.rng import as_generator
 
 #: Below this many vertices the dense eigensolver is used unconditionally.
@@ -36,6 +37,7 @@ def fiedler_vector(
     krylov_dim=60,
     restarts=12,
     force_lanczos=False,
+    faults=None,
 ) -> np.ndarray:
     """Compute (an approximation of) the Fiedler vector of ``graph``.
 
@@ -49,11 +51,22 @@ def fiedler_vector(
     force_lanczos:
         Use the Lanczos path even for small graphs (tests use this to
         compare the two paths on the same input).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector` threaded
+        down from the pipeline; its ``lanczos`` site simulates solver
+        failure here (the coarsest graphs take the dense path, so the
+        injection point must sit above the path split).
 
     Returns
     -------
     numpy.ndarray
         Unit-norm float64 vector orthogonal to the constant vector.
+
+    Raises
+    ------
+    repro.utils.errors.SpectralConvergenceError
+        When the eigensolver does not converge or produces a non-finite
+        vector (or when an injected ``lanczos`` fault fires).
     """
     rng = as_generator(rng)
     n = graph.nvtxs
@@ -61,12 +74,29 @@ def fiedler_vector(
         return np.zeros(0)
     if n == 1:
         return np.zeros(1)
+    if faults and faults.trip("lanczos"):
+        raise SpectralConvergenceError(
+            "injected Fiedler solver failure (simulated Lanczos "
+            "non-convergence / NaN eigenvector)",
+            method="lanczos",
+            injected=True,
+        )
 
     if n <= DENSE_THRESHOLD and not force_lanczos:
         lap = dense_laplacian(graph)
-        _, vecs = np.linalg.eigh(lap)
+        try:
+            _, vecs = np.linalg.eigh(lap)
+        except np.linalg.LinAlgError as exc:
+            raise SpectralConvergenceError(
+                f"dense eigensolve failed: {exc}", method="dense"
+            ) from exc
         # eigh returns eigenvalues ascending; column 1 is the Fiedler vector.
         vec = vecs[:, 1].copy()
+        if not np.isfinite(vec).all():
+            raise SpectralConvergenceError(
+                "dense eigensolve produced a non-finite Fiedler vector",
+                method="dense",
+            )
         return vec
 
     op = LaplacianOperator(graph)

@@ -12,13 +12,26 @@ produces ghost eigenvalues, which for partitioning means garbage splits).
 This module is self-contained (no scipy): the tridiagonal eigenproblem is
 solved with ``numpy.linalg.eigh_tridiagonal``-equivalent via dense ``eigh``
 on the k×k tridiagonal matrix, which is exact and cheap at these sizes.
+
+Failure is **typed**, never silent: when the restarts are exhausted with a
+residual still far above tolerance, or any quantity goes non-finite, the
+iteration raises :class:`~repro.utils.errors.SpectralConvergenceError`
+instead of returning a garbage vector (a garbage Fiedler vector means a
+garbage split — the caller must get the chance to fall back).  A residual
+within :data:`ACCEPT_FACTOR` × ``tol`` is accepted as "near-converged":
+for partitioning, an almost-converged Fiedler vector is perfectly usable,
+only true non-convergence is an error.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.errors import SpectralConvergenceError
 from repro.utils.rng import as_generator
+
+#: Relative-residual slack over ``tol`` still accepted as near-converged.
+ACCEPT_FACTOR = 1e3
 
 
 def _orthonormalize_against(v, basis):
@@ -63,6 +76,12 @@ def lanczos_smallest(
     -------
     (eigenvalue, eigenvector):
         The smallest eigenpair in the deflated subspace.
+
+    Raises
+    ------
+    repro.utils.errors.SpectralConvergenceError
+        On a non-finite eigenpair, a failed tridiagonal eigensolve, or a
+        final residual above ``ACCEPT_FACTOR × tol × max(|λ|, 1)``.
     """
     rng = as_generator(rng)
     deflate = [] if deflate is None else [np.asarray(q, dtype=np.float64) for q in deflate]
@@ -73,6 +92,7 @@ def lanczos_smallest(
 
     krylov_dim = min(krylov_dim, max(2, n - len(deflate)))
     lam = None
+    residual = np.inf
     for _ in range(restarts):
         v = _orthonormalize_against(v, deflate)
         norm = np.linalg.norm(v)
@@ -107,7 +127,15 @@ def lanczos_smallest(
             off = np.array(betas[: k - 1])
             tri[np.arange(k - 1), np.arange(1, k)] = off
             tri[np.arange(1, k), np.arange(k - 1)] = off
-        evals, evecs = np.linalg.eigh(tri)
+        try:
+            evals, evecs = np.linalg.eigh(tri)
+        except np.linalg.LinAlgError as exc:
+            raise SpectralConvergenceError(
+                f"tridiagonal eigensolve failed ({exc}); the Krylov recursion "
+                "went non-finite",
+                method="lanczos",
+                tol=tol,
+            ) from exc
         ritz = evecs[:, 0]
         x = np.zeros(n)
         for coeff, q in zip(ritz, qs):
@@ -117,10 +145,29 @@ def lanczos_smallest(
         xnorm = np.linalg.norm(x)
         if xnorm < 1e-30:
             v = rng.standard_normal(n)
+            residual = np.inf  # v is a fresh random vector, not a Ritz vector
             continue
         x /= xnorm
-        residual = np.linalg.norm(matvec(x) - lam * x)
+        residual = float(np.linalg.norm(matvec(x) - lam * x))
         v = x
         if residual <= tol * max(abs(lam), 1.0):
             break
+
+    if lam is None or not np.isfinite(lam) or not np.isfinite(v).all():
+        raise SpectralConvergenceError(
+            "Lanczos produced a non-finite eigenpair",
+            method="lanczos",
+            residual=None if not np.isfinite(residual) else residual,
+            tol=tol,
+        )
+    scale = max(abs(lam), 1.0)
+    if not np.isfinite(residual) or residual > ACCEPT_FACTOR * tol * scale:
+        raise SpectralConvergenceError(
+            f"Lanczos did not converge after {restarts} restarts: residual "
+            f"{residual:.3e} exceeds {ACCEPT_FACTOR:g}×tol ({tol:g}) × "
+            f"max(|λ|, 1)",
+            method="lanczos",
+            residual=None if not np.isfinite(residual) else residual,
+            tol=tol,
+        )
     return lam, v

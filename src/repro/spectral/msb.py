@@ -29,7 +29,7 @@ from repro.core.multilevel import MultilevelResult
 from repro.core.options import DEFAULT_OPTIONS, MatchingScheme, RefinePolicy
 from repro.core.refine import PassStats, refine_bisection
 from repro.spectral.fiedler import DENSE_THRESHOLD, fiedler_vector
-from repro.utils.errors import PartitionError
+from repro.utils.errors import PartitionError, SpectralConvergenceError
 from repro.utils.rng import as_generator
 from repro.utils.timing import PhaseTimer
 
@@ -52,15 +52,21 @@ def msb_fiedler(graph, options=DEFAULT_OPTIONS, rng=None, timers=None) -> np.nda
             if fine.nvtxs <= DENSE_THRESHOLD:
                 vec = fiedler_vector(fine, rng)
             else:
-                vec = fiedler_vector(
-                    fine,
-                    rng,
-                    start=vec,
-                    force_lanczos=True,
-                    krylov_dim=25,
-                    restarts=4,
-                    tol=1e-6,
-                )
+                try:
+                    vec = fiedler_vector(
+                        fine,
+                        rng,
+                        start=vec,
+                        force_lanczos=True,
+                        krylov_dim=25,
+                        restarts=4,
+                        tol=1e-6,
+                    )
+                except SpectralConvergenceError:
+                    # A failed polish keeps the interpolated coarse vector —
+                    # that is MSB's whole premise (the interpolant is already
+                    # close); the next finer level polishes from it again.
+                    pass
     return vec
 
 

@@ -32,6 +32,84 @@ class OrderingError(ReproError):
     """A fill-reducing ordering request cannot be satisfied."""
 
 
+class SpectralConvergenceError(ReproError):
+    """An eigensolver failed to produce a usable eigenvector.
+
+    Raised by :mod:`repro.spectral` when Lanczos exhausts its restarts with
+    a residual far above tolerance, or when any solver path produces a
+    non-finite eigenpair — instead of silently returning garbage that would
+    become a plausible-looking but meaningless bisection.  The SBP → GGGP →
+    GGP fallback chain in :func:`repro.core.initial.initial_bisection`
+    catches this type (and only this type) to degrade gracefully.
+
+    Attributes
+    ----------
+    method:
+        Solver path that failed (``"lanczos"`` or ``"dense"``).
+    residual:
+        Relative residual at failure, or ``None`` when not applicable.
+    tol:
+        Tolerance the solver was asked for, or ``None``.
+    injected:
+        True when the failure was produced by the fault-injection
+        framework (:mod:`repro.resilience.faults`) rather than the solver.
+    """
+
+    def __init__(
+        self, message: str, *, method="lanczos", residual=None, tol=None,
+        injected=False,
+    ):
+        self.method = method
+        self.residual = residual
+        self.tol = tol
+        self.injected = injected
+        super().__init__(f"[method={method}] {message}")
+
+
+class DeadlineExceededError(ReproError):
+    """A partitioning run overran its wall-clock deadline.
+
+    Raised by :func:`repro.core.multilevel.bisect` at a phase boundary when
+    ``MultilevelOptions.deadline`` has elapsed.  The error carries the best
+    valid bisection found so far (projected to the finest graph), so a
+    caller under deadline pressure can still use the partial result —
+    :func:`repro.core.kway.partition` and nested dissection do exactly
+    that instead of propagating the error.
+
+    Attributes
+    ----------
+    deadline, elapsed:
+        The budget in seconds and the wall-clock spent when it fired.
+    phase:
+        Pipeline phase that hit the deadline (``"coarsen"``, ``"initial"``,
+        ``"refine"``).
+    level:
+        Coarsening level at the checkpoint, or ``None``.
+    best:
+        Best-so-far :class:`~repro.graph.partition.Bisection` of the
+        *finest* graph, or ``None`` when the deadline fired before any
+        partition existed.
+    report:
+        The :class:`~repro.resilience.report.ResilienceReport` of the run,
+        including the deadline event itself.
+    """
+
+    def __init__(
+        self, message: str, *, deadline, elapsed, phase=None, level=None,
+        best=None, report=None,
+    ):
+        self.deadline = deadline
+        self.elapsed = elapsed
+        self.phase = phase
+        self.level = level
+        self.best = best
+        self.report = report
+        at = f"deadline={deadline:.3g}s, elapsed={elapsed:.3g}s"
+        if phase is not None:
+            at += f", phase={phase}"
+        super().__init__(f"[{at}] {message}")
+
+
 class ConfigurationError(ReproError, ValueError):
     """An option, parameter, or knob value is invalid.
 

@@ -70,6 +70,10 @@ class PhaseTimer:
         """A copy of all phase totals."""
         return dict(self._totals)
 
+    def grand_total(self) -> float:
+        """Sum of all phase totals (what a deadline guard accounts against)."""
+        return sum(self._totals.values())
+
     def merge(self, other: "PhaseTimer") -> None:
         """Fold another timer's totals into this one (used by recursion)."""
         for name, secs in other._totals.items():

@@ -64,6 +64,18 @@ VIOLATIONS = {
         "pkg/cites.py",
         '"""Implements the frobnication phase (§9.9).\n"""\n',
     ),
+    # RP009 only fires inside core/ or ordering/ package paths.
+    "RP009": (
+        "pkg/core/fallback.py",
+        "from repro.utils.errors import ReproError\n"
+        "\n"
+        "\n"
+        "def run(fn, default):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except ReproError:\n"
+        "        return default\n",
+    ),
 }
 
 
@@ -172,6 +184,22 @@ class TestSuppression:
         f.write_text("def chatty():\n    print('x')  # repro: noqa[RP001]\n")
         assert [f_.rule_id for f_ in lint_paths([f])] == ["RP006"]
 
+    def test_rp009_noqa_suppresses(self, tmp_path):
+        f = tmp_path / "core" / "fb.py"
+        f.parent.mkdir()
+        f.write_text(
+            "from repro.utils.errors import ReproError\n"
+            "\n"
+            "\n"
+            "def run(fn, default):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    # default is the caller's explicit degraded answer\n"
+            "    except ReproError:  # repro: noqa[RP009]\n"
+            "        return default\n"
+        )
+        assert lint_paths([f]) == []
+
     def test_collect_suppressions_parsing(self):
         table = collect_suppressions(
             "a = 1\n"
@@ -203,6 +231,6 @@ class TestShippedTree:
         )
         assert findings == [], format_findings(findings)
 
-    def test_default_rules_cover_rp001_to_rp008(self):
+    def test_default_rules_cover_rp001_to_rp009(self):
         ids = [r.id for r in default_rules()]
-        assert ids == [f"RP00{i}" for i in range(1, 9)]
+        assert ids == [f"RP00{i}" for i in range(1, 10)]
