@@ -12,13 +12,13 @@ import time
 
 import numpy as np
 
-from repro.bench import Row, bench_matrices, bench_seed, format_table
+from repro.bench import Row, bench_matrices, bench_seed
 from repro.core import partition
 from repro.core.options import DEFAULT_OPTIONS
 from repro.matrices import suite
 from repro.matrices.suite import TABLE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK31", "4ELT"]
 
@@ -50,14 +50,12 @@ def test_ablation_gain_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_report(
-        format_table(
-            rows, ["32EC", "RTime", "wall"],
-            title=(
-                f"Ablation: gain-table structure × gain maintenance "
-                f"(32-way, scale={DEFAULT_SCALE})"
-            ),
-        )
+    record_result(
+        "ablation_gain_table",
+        rows,
+        ["32EC", "RTime", "wall"],
+        title=f"Ablation: gain-table structure × gain maintenance "
+            f"(32-way, scale={DEFAULT_SCALE})",
     )
     # Quality must be structure-independent (within noise).
     by_matrix = {}

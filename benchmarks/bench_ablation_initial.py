@@ -12,13 +12,13 @@ import time
 
 import numpy as np
 
-from repro.bench import Row, bench_matrices, bench_seed, format_table
+from repro.bench import Row, bench_matrices, bench_seed
 from repro.core import partition
 from repro.core.options import DEFAULT_OPTIONS, InitialScheme
 from repro.matrices import suite
 from repro.matrices.suite import TABLE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK31", "4ELT", "BRACK2"]
 
@@ -45,11 +45,11 @@ def test_ablation_initial_partitioner(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_report(
-        format_table(
-            rows, ["32EC", "ITime", "wall"],
-            title=f"Ablation: initial partitioner (32-way, scale={DEFAULT_SCALE})",
-        )
+    record_result(
+        "ablation_initial",
+        rows,
+        ["32EC", "ITime", "wall"],
+        title=f"Ablation: initial partitioner (32-way, scale={DEFAULT_SCALE})",
     )
     # GGGP must be within a few % of the best scheme on every matrix.
     by_matrix = {}
@@ -76,10 +76,10 @@ def test_ablation_growth_trials(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_report(
-        format_table(
-            rows, ["32EC", "wall"],
-            title="Ablation: GGGP seed-count sweep (paper uses 5)",
-        )
+    record_result(
+        "ablation_gggp_trials",
+        rows,
+        ["32EC", "wall"],
+        title="Ablation: GGGP seed-count sweep (paper uses 5)",
     )
     assert all(r.values["32EC"] > 0 for r in rows)

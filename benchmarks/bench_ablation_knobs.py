@@ -16,12 +16,12 @@ import time
 
 import numpy as np
 
-from repro.bench import Row, bench_seed, format_table
+from repro.bench import Row, bench_seed
 from repro.core import partition
 from repro.core.options import DEFAULT_OPTIONS
 from repro.matrices import suite
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 
 def _sweep(graph, configs, seed):
@@ -45,8 +45,12 @@ def test_ablation_kl_early_exit(benchmark):
     ]
     rows = benchmark.pedantic(lambda: _sweep(graph, configs, seed),
                               rounds=1, iterations=1)
-    record_report(format_table(rows, ["32EC", "wall"],
-                               title="Ablation: KL early-exit x (paper: 50)"))
+    record_result(
+        "ablation_kl_early_exit",
+        rows,
+        ["32EC", "wall"],
+        title="Ablation: KL early-exit x (paper: 50)",
+    )
     assert all(r.values["32EC"] > 0 for r in rows)
 
 
@@ -59,8 +63,12 @@ def test_ablation_coarsen_to(benchmark):
     ]
     rows = benchmark.pedantic(lambda: _sweep(graph, configs, seed),
                               rounds=1, iterations=1)
-    record_report(format_table(rows, ["32EC", "wall"],
-                               title="Ablation: coarsest-graph size (paper: ~100)"))
+    record_result(
+        "ablation_coarsen_to",
+        rows,
+        ["32EC", "wall"],
+        title="Ablation: coarsest-graph size (paper: ~100)",
+    )
     assert all(r.values["32EC"] > 0 for r in rows)
 
 
@@ -73,8 +81,10 @@ def test_ablation_bklgr_switch(benchmark):
     ]
     rows = benchmark.pedantic(lambda: _sweep(graph, configs, seed),
                               rounds=1, iterations=1)
-    record_report(format_table(
-        rows, ["32EC", "wall"],
+    record_result(
+        "ablation_bklgr_switch",
+        rows,
+        ["32EC", "wall"],
         title="Ablation: BKLGR boundary switch (paper: 0.02; 0.0=BGR, 1.0=BKLR)",
-    ))
+    )
     assert all(r.values["32EC"] > 0 for r in rows)

@@ -10,14 +10,14 @@ import time
 
 import numpy as np
 
-from repro.bench import Row, bench_matrices, bench_seed, format_table
+from repro.bench import Row, bench_matrices, bench_seed
 from repro.core import partition, refine_kway
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph import communication_volume
 from repro.matrices import suite
 from repro.matrices.suite import TABLE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK31", "BRACK2", "4ELT", "ROTOR"]
 
@@ -51,16 +51,13 @@ def test_ablation_kway_refinement(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_report(
-        format_table(
-            rows,
-            ["rb_cut", "kway_cut", "gain_%", "rb_commvol", "kway_commvol",
-             "rb_time", "refine_time"],
-            title=(
-                f"Ablation: direct k-way refinement after recursive bisection "
-                f"(32-way, scale={DEFAULT_SCALE})"
-            ),
-        )
+    record_result(
+        "ablation_kway_refine",
+        rows,
+        ["rb_cut", "kway_cut", "gain_%", "rb_commvol", "kway_commvol",
+            "rb_time", "refine_time"],
+        title=f"Ablation: direct k-way refinement after recursive bisection "
+            f"(32-way, scale={DEFAULT_SCALE})",
     )
     for r in rows:
         # k-way refinement must never worsen the cut and must stay cheap

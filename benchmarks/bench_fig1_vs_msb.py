@@ -10,10 +10,10 @@ than those produced by MSB"), with MSB competitive only on a few and never
 winning by more than ~1 %.
 """
 
-from repro.bench import bench_matrices, cut_ratio_rows, format_table
+from repro.bench import bench_matrices, cut_ratio_rows
 from repro.matrices.suite import FIGURE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
 NPARTS = (16, 32, 64)
@@ -26,15 +26,12 @@ def test_fig1_vs_msb(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            [f"ratio_{k}" for k in NPARTS],
-            title=(
-                f"Figure 1 analogue: ML/MSB edge-cut ratio, k={NPARTS}, "
-                f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)"
-            ),
-        )
+    record_result(
+        "fig1_vs_msb",
+        rows,
+        [f"ratio_{k}" for k in NPARTS],
+        title=f"Figure 1 analogue: ML/MSB edge-cut ratio, k={NPARTS}, "
+            f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)",
     )
     # ML must win (ratio ≤ ~1) on the clear majority of (matrix, k) cells.
     cells = [

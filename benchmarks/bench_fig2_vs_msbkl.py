@@ -5,10 +5,10 @@ to 1.0 than Figure 1's), but our scheme still wins on most matrices while
 MSB-KL costs even more time than MSB (see Figure 4).
 """
 
-from repro.bench import bench_matrices, cut_ratio_rows, format_table
+from repro.bench import bench_matrices, cut_ratio_rows
 from repro.matrices.suite import FIGURE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
 NPARTS = (16, 32, 64)
@@ -23,15 +23,12 @@ def test_fig2_vs_msb_kl(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            [f"ratio_{k}" for k in NPARTS],
-            title=(
-                f"Figure 2 analogue: ML/MSB-KL edge-cut ratio, k={NPARTS}, "
-                f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)"
-            ),
-        )
+    record_result(
+        "fig2_vs_msbkl",
+        rows,
+        [f"ratio_{k}" for k in NPARTS],
+        title=f"Figure 2 analogue: ML/MSB-KL edge-cut ratio, k={NPARTS}, "
+            f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)",
     )
     cells = [row.values[f"ratio_{k}"] for row in rows for k in NPARTS]
     # MSB-KL is a strong baseline: require ML within 10 % on most cells

@@ -6,10 +6,10 @@ partitions with smaller edge-cut than that of Chaco-ML … for the cases
 where Chaco-ML does better, it is only marginally better."
 """
 
-from repro.bench import bench_matrices, cut_ratio_rows, format_table
+from repro.bench import bench_matrices, cut_ratio_rows
 from repro.matrices.suite import FIGURE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
 NPARTS = (16, 32, 64)
@@ -24,15 +24,12 @@ def test_fig3_vs_chaco_ml(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            [f"ratio_{k}" for k in NPARTS],
-            title=(
-                f"Figure 3 analogue: ML/Chaco-ML edge-cut ratio, k={NPARTS}, "
-                f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)"
-            ),
-        )
+    record_result(
+        "fig3_vs_chacoml",
+        rows,
+        [f"ratio_{k}" for k in NPARTS],
+        title=f"Figure 3 analogue: ML/Chaco-ML edge-cut ratio, k={NPARTS}, "
+            f"scale={DEFAULT_SCALE} (bars < 1.0 = ML wins)",
     )
     cells = [row.values[f"ratio_{k}"] for row in rows for k in NPARTS]
     close_or_better = sum(1 for r in cells if r <= 1.05)

@@ -13,10 +13,10 @@ Python, so the ratio is compressed relative to the paper's all-C setting
 
 import os
 
-from repro.bench import bench_matrices, format_table, runtime_rows
+from repro.bench import bench_matrices, runtime_rows
 from repro.matrices.suite import FIGURE_MATRICES
 
-from conftest import record_report
+from conftest import record_result
 
 DEFAULT_SUBSET = ["BCSSTK30", "BRACK2", "4ELT", "MEMPLUS"]
 
@@ -33,15 +33,12 @@ def test_fig4_relative_runtimes(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            ["ml_seconds", "chaco_ml_rel", "msb_rel", "msb_kl_rel"],
-            title=(
-                f"Figure 4 analogue: 64-way runtime relative to ML, "
-                f"scale={DEFAULT_SCALE} (bars > 1.0 = ML faster)"
-            ),
-        )
+    record_result(
+        "fig4_runtime",
+        rows,
+        ["ml_seconds", "chaco_ml_rel", "msb_rel", "msb_kl_rel"],
+        title=f"Figure 4 analogue: 64-way runtime relative to ML, "
+            f"scale={DEFAULT_SCALE} (bars > 1.0 = ML faster)",
     )
     # Aggregate claim: summed over the suite, every baseline costs at
     # least as much as the multilevel algorithm.  (Per-matrix the picture

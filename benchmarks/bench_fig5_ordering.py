@@ -10,10 +10,10 @@ problems (up to 2–3×) while MMD can win on small/2-D/irregular ones
 MLND's orderings expose more elimination-tree parallelism than MMD's.
 """
 
-from repro.bench import bench_matrices, format_table, ordering_rows
+from repro.bench import bench_matrices, ordering_rows
 from repro.matrices.suite import ORDERING_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["LSHP3466", "BCSPWR10", "4ELT", "BCSSTK29", "BRACK2", "ROTOR"]
 
@@ -25,10 +25,10 @@ def test_fig5_ordering_quality(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            [
+    record_result(
+        "fig5_ordering",
+        rows,
+        [
                 "mmd_over_mlnd",
                 "snd_over_mlnd",
                 "mlnd_parallelism",
@@ -36,11 +36,8 @@ def test_fig5_ordering_quality(benchmark):
                 "mlnd_seconds",
                 "mmd_seconds",
             ],
-            title=(
-                f"Figure 5 analogue: opcount ratios vs MLND, scale={DEFAULT_SCALE} "
-                f"(bars > 1.0 = MLND better)"
-            ),
-        )
+        title=f"Figure 5 analogue: opcount ratios vs MLND, scale={DEFAULT_SCALE} "
+            f"(bars > 1.0 = MLND better)",
     )
     # MLND must beat MMD on the 3-D matrices of the subset...
     threed = [r for r in rows if r.matrix in ("BRACK2", "ROTOR", "BCSSTK29",

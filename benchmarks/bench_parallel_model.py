@@ -9,13 +9,13 @@ at p = 128 for paper-size problems, and a severe wall-clock penalty if
 refinement were not boundary-based.
 """
 
-from repro.bench import Row, bench_matrices, format_table
+from repro.bench import Row, bench_matrices
 from repro.matrices import suite
 from repro.parallel import collect_level_stats, estimate_parallel_speedup
 from repro.parallel.model import scale_levels
 from repro.parallel.stats import LevelStats
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BRACK2", "ROTOR"]
 PROCS = (8, 32, 128)
@@ -46,16 +46,13 @@ def test_parallel_speedup_model(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_report(
-        format_table(
-            rows,
-            [f"speedup_{p}" for p in PROCS] + [f"kl_penalty_{p}" for p in PROCS],
-            title=(
-                "§5 analogue: modelled parallel speedup at paper-size graphs "
-                "(T3D-class machine; kl_penalty = wall-clock multiplier of "
-                "non-boundary refinement)"
-            ),
-        )
+    record_result(
+        "parallel_model",
+        rows,
+        [f"speedup_{p}" for p in PROCS] + [f"kl_penalty_{p}" for p in PROCS],
+        title="§5 analogue: modelled parallel speedup at paper-size graphs "
+            "(T3D-class machine; kl_penalty = wall-clock multiplier of "
+            "non-boundary refinement)",
     )
     for r in rows:
         # Same order as the paper's 56× at p=128; and boundary refinement

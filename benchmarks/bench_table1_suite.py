@@ -5,10 +5,10 @@ order, edge count (≈ nonzeros/2) and description, and benchmarks suite
 generation itself (the substrate cost every other experiment pays).
 """
 
-from repro.bench import Row, bench_matrices, format_table
+from repro.bench import Row, bench_matrices
 from repro.matrices import suite
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["LSHP3466", "4ELT", "BCSPWR10", "BCSSTK31", "MEMPLUS", "FINAN512"]
 
@@ -41,10 +41,9 @@ def test_table1_inventory(benchmark):
             )
         )
         assert graph.nvtxs > 0
-    record_report(
-        format_table(
-            rows,
-            ["order", "edges", "avg_deg", "paper_order", "description"],
-            title=f"Table 1 analogue (scale={DEFAULT_SCALE})",
-        )
+    record_result(
+        "table1_suite",
+        rows,
+        ["order", "edges", "avg_deg", "paper_order", "description"],
+        title=f"Table 1 analogue (scale={DEFAULT_SCALE})",
     )

@@ -11,10 +11,10 @@ HEM's because its projected partitions are poor (see Table 3).
 
 import pytest
 
-from repro.bench import bench_matrices, format_table, pivot, table2_rows
+from repro.bench import bench_matrices, pivot, table2_rows
 from repro.matrices.suite import TABLE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK31", "BRACK2", "4ELT", "ROTOR"]
 
@@ -27,12 +27,11 @@ def test_table2_matching_schemes(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            ["32EC", "CTime", "UTime", "balance"],
-            title=f"Table 2 analogue: matching schemes, 32-way, scale={DEFAULT_SCALE}",
-        )
+    record_result(
+        "table2_matching",
+        rows,
+        ["32EC", "CTime", "UTime", "balance"],
+        title=f"Table 2 analogue: matching schemes, 32-way, scale={DEFAULT_SCALE}",
     )
 
     cuts = pivot(rows, "32EC")

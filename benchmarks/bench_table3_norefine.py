@@ -7,10 +7,10 @@ significantly higher than that for either HEM or HCM" — even though after
 refinement (Table 2) the final cuts converge.
 """
 
-from repro.bench import bench_matrices, format_table, pivot, table3_rows
+from repro.bench import bench_matrices, pivot, table3_rows
 from repro.matrices.suite import TABLE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK31", "BRACK2", "4ELT", "ROTOR"]
 
@@ -22,12 +22,11 @@ def test_table3_no_refinement(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            ["32EC"],
-            title=f"Table 3 analogue: no refinement, 32-way, scale={DEFAULT_SCALE}",
-        )
+    record_result(
+        "table3_norefine",
+        rows,
+        ["32EC"],
+        title=f"Table 3 analogue: no refinement, 32-way, scale={DEFAULT_SCALE}",
     )
 
     cuts = pivot(rows, "32EC")

@@ -7,10 +7,10 @@ Expected shape (§4.1): cuts within ~15 % of each other; boundary policies
 the most expensive; BKLGR within a few % of BKLR's cut at lower time.
 """
 
-from repro.bench import bench_matrices, format_table, pivot, table4_rows
+from repro.bench import bench_matrices, pivot, table4_rows
 from repro.matrices.suite import TABLE_MATRICES
 
-from conftest import DEFAULT_SCALE, record_report
+from conftest import DEFAULT_SCALE, record_result
 
 DEFAULT_SUBSET = ["BCSSTK31", "BRACK2", "4ELT", "ROTOR"]
 
@@ -22,12 +22,11 @@ def test_table4_refinement_policies(benchmark):
         rounds=1,
         iterations=1,
     )
-    record_report(
-        format_table(
-            rows,
-            ["32EC", "RTime"],
-            title=f"Table 4 analogue: refinement policies, 32-way, scale={DEFAULT_SCALE}",
-        )
+    record_result(
+        "table4_refinement",
+        rows,
+        ["32EC", "RTime"],
+        title=f"Table 4 analogue: refinement policies, 32-way, scale={DEFAULT_SCALE}",
     )
 
     cuts = pivot(rows, "32EC")

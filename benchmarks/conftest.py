@@ -9,7 +9,12 @@ paper sets are selected with environment variables::
 
 Every experiment prints its paper-table/figure analogue to stdout (run
 pytest with ``-s`` to see them live; they are also echoed into the
-terminalreporter at the end).
+terminalreporter at the end).  Experiments that report via
+:func:`record_result` additionally persist their rows as machine-readable
+``BENCH_<table>.json`` files in the repository root when the session ends
+(schema: ``repro-bench/1``, see :mod:`repro.obs.export` and
+docs/OBSERVABILITY.md) — the text tables are for humans, the JSON is what
+tooling and trend tracking consume.
 """
 
 import os
@@ -21,11 +26,39 @@ import pytest
 DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
 _REPORTS: list[str] = []
+_RESULTS: list[tuple] = []
 
 
 def record_report(text: str) -> None:
-    """Queue a formatted table for the end-of-run summary."""
+    """Queue a formatted table for the end-of-run summary (text only)."""
     _REPORTS.append(text)
+
+
+def record_result(table: str, rows, columns, *, title: str = "",
+                  extra=None) -> None:
+    """Record one experiment's result: printed table + JSON persistence.
+
+    ``table`` names the artefact (``BENCH_<table>.json``); ``rows`` is a
+    list of :class:`repro.bench.Row` (or plain dicts) and ``columns`` the
+    value keys the text rendering shows.
+    """
+    from repro.bench import format_table
+
+    record_report(format_table(rows, list(columns), title=title))
+    _RESULTS.append((table, list(rows), list(columns), title, extra))
+
+
+def pytest_sessionfinish(session):
+    if not _RESULTS:
+        return
+    from repro.obs import bench_payload, write_bench_json
+
+    root = str(session.config.rootpath)
+    for table, rows, columns, title, extra in _RESULTS:
+        payload = bench_payload(
+            table, rows, title=title, columns=columns, extra=extra
+        )
+        write_bench_json(os.path.join(root, f"BENCH_{table}.json"), payload)
 
 
 @pytest.hookimpl(trylast=True)

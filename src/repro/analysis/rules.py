@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RP001`` … ``RP009``).
+"""The repo-specific lint rules (``RP001`` … ``RP010``).
 
 Each rule encodes an idiom this codebase relies on for *correctness* — the
 delicate incremental machinery of the multilevel pipeline fails silently
@@ -22,6 +22,9 @@ RP008     ``§N.M`` docstring citations must exist in ``PAPER.md``
 RP009     a ``ReproError`` fallback handler in ``core/``/``ordering/``
           must record the event to a ``ResilienceReport`` or re-raise
           (silent fallbacks make degraded results unauditable)
+RP010     tracer spans are entered with ``with`` (never called bare)
+          and ``core/`` emits events through an open span, not directly
+          on a tracer (keeps the trace a well-nested span tree)
 ========  ============================================================
 
 Suppress a deliberate exception with ``# repro: noqa[RPxxx]`` plus a
@@ -497,6 +500,7 @@ _REPRO_ERRORS = frozenset(
         "SpectralConvergenceError",
         "DeadlineExceededError",
         "SanitizerError",
+        "TraceError",
         "UnknownWorkloadError",
     }
 )
@@ -550,6 +554,84 @@ class FallbackRecordRule(Rule):
                 )
 
 
+class ObsHygieneRule(Rule):
+    """RP010 — tracing hygiene: spans are ``with``-entered, events nested.
+
+    The trace schema (docs/OBSERVABILITY.md) is a *well-nested span tree*:
+    ``Tracer.span`` is a context manager whose exit writes the span record,
+    so calling it without entering it silently drops the span (and its
+    duration) from the trace.  Similarly, pipeline code in ``core/`` emits
+    per-level/per-pass events through the *span* handed down by the driver
+    — an event fired directly on a tracer there floats outside every phase
+    span and breaks the per-phase reconciliation ``repro trace`` performs.
+    Two checks:
+
+    * anywhere: ``<tracer>.span(...)`` must appear as a ``with`` item;
+    * in ``core/``: ``<tracer>.event(...)`` must sit lexically inside a
+      ``with <tracer>.span(...)`` block.
+
+    Receivers named ``sp``/``span`` are span objects, not tracers, and are
+    exempt — ``if span: span.event(...)`` is the blessed call-site idiom.
+    """
+
+    id = "RP010"
+    name = "obs-hygiene"
+    summary = "bare Tracer.span() call or un-nested tracer event in core/"
+
+    _TRACER_NAMES = frozenset({"trc", "tracer"})
+
+    def _tracerish(self, node) -> bool:
+        """Whether ``node`` reads like a tracer receiver (not a span)."""
+        if isinstance(node, ast.Name):
+            return node.id in self._TRACER_NAMES
+        return isinstance(node, ast.Attribute) and node.attr == "tracer"
+
+    def check(self, ctx):
+        entered = set()   # span-call nodes used as with-items
+        spanning = []     # (lineno, end_lineno) of with-blocks opening a span
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "span"
+                    and self._tracerish(call.func.value)
+                ):
+                    entered.add(id(call))
+                    spanning.append((node.lineno, node.end_lineno))
+        in_core = "core" in ctx.parts
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and self._tracerish(node.func.value)
+            ):
+                continue
+            if node.func.attr == "span" and id(node) not in entered:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "Tracer.span(...) called outside a 'with' statement; "
+                    "the span record is only written when the context "
+                    "manager exits",
+                )
+            elif node.func.attr == "event" and in_core:
+                inside = any(
+                    lo <= node.lineno <= hi for lo, hi in spanning
+                )
+                if not inside:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "tracer event emitted outside any span in core/; "
+                        "emit through the span passed down by the driver "
+                        "so the event nests under its phase",
+                    )
+
+
 #: The full rule set, in id order.
 RULES = (
     SeededRandomRule,
@@ -561,6 +643,7 @@ RULES = (
     DunderAllRule,
     PaperSectionRule,
     FallbackRecordRule,
+    ObsHygieneRule,
 )
 
 

@@ -8,7 +8,9 @@ Subcommands mirror what the METIS binaries of the era offered:
   print the symbolic-factorization stats, optionally write the perm;
 * ``generate NAME OUT`` — write a suite workload to a ``.graph`` file;
 * ``info GRAPH`` — print basic statistics of a graph file;
-* ``lint [PATHS]`` — run the repo's AST lint pass (see docs/ANALYSIS.md).
+* ``lint [PATHS]`` — run the repo's AST lint pass (see docs/ANALYSIS.md);
+* ``trace FILE`` — pretty-print the profile of a JSONL trace written with
+  ``--trace`` / ``REPRO_TRACE`` (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -57,6 +59,15 @@ def _add_common_options(p):
         metavar="N",
         help="reseeded retries of an invalid initial bisection (default 3)",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a structured JSONL trace here ('-' for stdout); inspect "
+            "it with 'repro trace FILE' (see docs/OBSERVABILITY.md)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", action="store_true", help="list suite workloads")
 
     p = sub.add_parser(
-        "lint", help="run the repo lint pass (RP001-RP008, docs/ANALYSIS.md)"
+        "lint", help="run the repo lint pass (RP001-RP010, docs/ANALYSIS.md)"
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -113,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--select", help="comma-separated rule ids to run")
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
+    p = sub.add_parser(
+        "trace", help="pretty-print the profile of a JSONL trace file"
+    )
+    p.add_argument("file", help="trace file written via --trace / REPRO_TRACE")
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the aggregated profile as JSON instead of text",
     )
     return parser
 
@@ -131,6 +151,8 @@ def main(argv=None) -> int:
         from repro.analysis.cli import run_lint
 
         return run_lint(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -144,6 +166,7 @@ def _options_from(args):
         seed=args.seed,
         deadline=args.deadline,
         max_init_retries=args.max_retries,
+        trace=args.trace,
     )
 
 
@@ -213,6 +236,25 @@ def _cmd_order(args) -> int:
     if args.output:
         np.savetxt(args.output, ordering.perm, fmt="%d")
         print(f"permutation written to {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import format_profile, profile, read_trace
+    from repro.utils.errors import TraceError
+
+    try:
+        records = read_trace(args.file)
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prof = profile(records)
+    if args.json:
+        print(json.dumps(prof, indent=2, sort_keys=True))
+    else:
+        print(format_profile(prof))
     return 0
 
 

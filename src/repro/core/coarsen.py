@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.sanitize import sanitizer
-from repro.core.matching import compute_matching
+from repro.core.matching import compute_matching, matching_stats
 from repro.core.options import DEFAULT_OPTIONS, MatchingScheme
 from repro.graph.contract import (
     coarse_map_from_matching,
@@ -64,7 +64,8 @@ class CoarseningHierarchy:
 
 
 def coarsen(
-    graph, options=DEFAULT_OPTIONS, rng=None, *, faults=None, report=None
+    graph, options=DEFAULT_OPTIONS, rng=None, *, faults=None, report=None,
+    span=None,
 ) -> CoarseningHierarchy:
     """Run the coarsening phase on ``graph``.
 
@@ -87,6 +88,10 @@ def coarsen(
         ``stall`` event is recorded whenever coarsening stops above
         ``coarsen_to`` — injected or natural — since downstream phases then
         run on a larger-than-intended coarsest graph.
+    span:
+        Optional open tracer span (the ``CTime`` phase span); when truthy a
+        ``coarsen.level`` event is emitted per level with the coarse sizes
+        and the :func:`~repro.core.matching.matching_stats` summary.
 
     Returns
     -------
@@ -136,5 +141,16 @@ def coarsen(
             san.check_contraction(current, coarse, cmap, level=level)
         hierarchy.graphs.append(coarse)
         hierarchy.cmaps.append(cmap)
+        if span:
+            span.event(
+                "coarsen.level",
+                level=level,
+                scheme=MatchingScheme(options.matching).value,
+                nvtxs=coarse.nvtxs,
+                nedges=coarse.nedges,
+                **matching_stats(current, match),
+            )
         current = coarse
+    if span:
+        span.set(levels=hierarchy.nlevels, coarsest_nvtxs=current.nvtxs)
     return hierarchy

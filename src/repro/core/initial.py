@@ -88,11 +88,11 @@ def gggp_bisection(graph, target0=None, rng=None, trials=5) -> Bisection:
     # rest): moving the max-gain frontier vertex grows the region with the
     # least increase in cut.  The coarsest graph is tiny (≲ a few hundred
     # vertices), so a dense argmax over the frontier beats heap upkeep.
-    wdeg = np.bincount(
-        np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj)),
-        weights=adjwgt,
-        minlength=n,
-    ).astype(np.int64)
+    # Accumulate in int64 (bincount's float64 weights round past 2**53).
+    wdeg = np.zeros(n, dtype=np.int64)
+    np.add.at(
+        wdeg, np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj)), adjwgt
+    )
     neg_inf = np.iinfo(np.int64).min
 
     best = None
@@ -237,6 +237,7 @@ def initial_bisection(
     *,
     faults=None,
     report=None,
+    span=None,
 ):
     """Dispatch to the configured initial-partitioning scheme, resiliently.
 
@@ -247,7 +248,11 @@ def initial_bisection(
     :func:`initial_defect`) is retried with a fresh child seed.  The
     terminal fallback — a weighted-median split by vertex id — cannot fail
     and is accepted unconditionally.  Every fallback and retry is recorded
-    to ``report`` when one is supplied.
+    to ``report`` when one is supplied, and mirrored as ``initial.*``
+    events on ``span`` when tracing is enabled — the joined view (which
+    scheme ran, how often it was reseeded, what it fell back to) is the
+    per-attempt record the :class:`~repro.resilience.report.ResilienceReport`
+    summarises.
 
     The first attempt consumes ``rng`` exactly as the pre-resilience
     dispatch did, so results on the no-failure path are bit-identical.
@@ -277,11 +282,25 @@ def initial_bisection(
                         "initial",
                         f"{scheme.value} failed ({exc}); trying next scheme",
                     )
+                if span:
+                    span.event(
+                        "initial.fallback",
+                        scheme=scheme.value,
+                        reason="convergence",
+                    )
                 break  # retrying a deterministic solver is pointless
             if faults and faults.trip("initial"):
                 bisection = _corrupt_bisection(graph)
             defect = initial_defect(graph, bisection, target0, options.ubfactor)
             if defect is None:
+                if span:
+                    span.event(
+                        "initial.attempt",
+                        scheme=scheme.value,
+                        attempt=attempt + 1,
+                        cut=int(bisection.cut),
+                        outcome="accepted",
+                    )
                 return bisection
             if attempt < options.max_init_retries:
                 if report is not None:
@@ -291,18 +310,35 @@ def initial_bisection(
                         f"{scheme.value} produced {defect}; "
                         f"reseeding (attempt {attempt + 2})",
                     )
-            elif report is not None:
-                report.record(
-                    "fallback",
-                    "initial",
-                    f"{scheme.value} still invalid after "
-                    f"{options.max_init_retries} reseeds ({defect}); "
-                    "trying next scheme",
-                )
+                if span:
+                    span.event(
+                        "initial.retry",
+                        scheme=scheme.value,
+                        attempt=attempt + 1,
+                        defect=defect,
+                    )
+            else:
+                if report is not None:
+                    report.record(
+                        "fallback",
+                        "initial",
+                        f"{scheme.value} still invalid after "
+                        f"{options.max_init_retries} reseeds ({defect}); "
+                        "trying next scheme",
+                    )
+                if span:
+                    span.event(
+                        "initial.fallback",
+                        scheme=scheme.value,
+                        reason="defect",
+                        defect=defect,
+                    )
     if report is not None:
         report.record(
             "fallback",
             "initial",
             "all schemes failed; weighted-median split by vertex id",
         )
+    if span:
+        span.event("initial.fallback", scheme="median", reason="exhausted")
     return split_at_weighted_median(graph, np.arange(n), target0)

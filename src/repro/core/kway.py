@@ -21,6 +21,7 @@ from repro.core.multilevel import bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import extract_subgraph
 from repro.graph.partition import KWayPartition, edge_cut, part_weights
+from repro.obs.tracer import resolve_tracer
 from repro.resilience.deadline import DeadlineGuard
 from repro.resilience.faults import fault_injector
 from repro.resilience.report import ResilienceReport
@@ -85,17 +86,30 @@ def partition(
     guard = None
     if options.deadline is not None:
         guard = DeadlineGuard(options.deadline, timer=timers)
-    _recurse(graph, nparts, 0, where, np.arange(graph.nvtxs, dtype=np.int64),
-             options, rng, timers, bisector, faults, report, guard)
-    result = KWayPartition(
-        where=where,
-        nparts=nparts,
-        cut=edge_cut(graph, where),
-        pwgts=part_weights(graph, where, nparts),
+    trc, owned_trace = resolve_tracer(
+        None, options, run="partition",
+        nvtxs=graph.nvtxs, nedges=graph.nedges, nparts=nparts,
     )
-    result.timers = timers.totals()
-    result.resilience = report
-    return result
+    try:
+        with trc.span("partition", nparts=nparts) as root:
+            _recurse(graph, nparts, 0, where,
+                     np.arange(graph.nvtxs, dtype=np.int64),
+                     options, rng, timers, bisector, faults, report, guard,
+                     trc)
+            result = KWayPartition(
+                where=where,
+                nparts=nparts,
+                cut=edge_cut(graph, where),
+                pwgts=part_weights(graph, where, nparts),
+            )
+            if root:
+                root.set(cut=int(result.cut))
+        result.timers = timers.totals()
+        result.resilience = report
+        return result
+    finally:
+        if owned_trace:
+            trc.close()
 
 
 def _assign_by_weight(graph, k) -> np.ndarray:
@@ -108,7 +122,7 @@ def _assign_by_weight(graph, k) -> np.ndarray:
 
 
 def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
-             faults, report, guard):
+             faults, report, guard, trc=None):
     """Assign parts ``first_part .. first_part+k-1`` to ``graph``'s vertices.
 
     ``vmap`` maps this subgraph's vertices to the original graph; ``where``
@@ -138,7 +152,8 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
     try:
         if bisector is None:
             result = bisect(graph, options, child_rng, target0=target0,
-                            faults=faults, report=report, guard=guard)
+                            faults=faults, report=report, guard=guard,
+                            tracer=trc)
         else:
             try:
                 result = bisector(graph, options, child_rng, target0)
@@ -150,7 +165,7 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
                 )
                 result = bisect(graph, options, spawn_child(rng),
                                 target0=target0, faults=faults, report=report,
-                                guard=guard)
+                                guard=guard, tracer=trc)
         timers.merge(result.timers)
         side = np.asarray(result.bisection.where).copy()
     except DeadlineExceededError as exc:
@@ -186,6 +201,6 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
     sub_left, _ = extract_subgraph(graph, left)
     sub_right, _ = extract_subgraph(graph, right)
     _recurse(sub_left, k_left, first_part, where, vmap[left],
-             options, rng, timers, bisector, faults, report, guard)
+             options, rng, timers, bisector, faults, report, guard, trc)
     _recurse(sub_right, k - k_left, first_part + k_left, where, vmap[right],
-             options, rng, timers, bisector, faults, report, guard)
+             options, rng, timers, bisector, faults, report, guard, trc)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.analysis.sanitize import sanitizer
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.partition import KWayPartition, edge_cut, part_weights
+from repro.obs.tracer import resolve_tracer
 from repro.utils.rng import as_generator
 
 
@@ -40,6 +41,7 @@ def refine_kway(
     rng=None,
     *,
     max_passes: int = 8,
+    tracer=None,
 ) -> KWayPartition:
     """Greedily refine a k-way partition in place; returns the same object.
 
@@ -53,6 +55,10 @@ def refine_kway(
     max_passes:
         Upper bound on boundary sweeps (each pass is monotone, so this is
         a safety cap, not a tuning knob).
+    tracer:
+        Optional threaded :class:`~repro.obs.tracer.Tracer`; default
+        resolves ``options.trace`` / ``REPRO_TRACE``.  Emits one
+        ``kway.pass`` event per boundary sweep.
     """
     rng = as_generator(rng if rng is not None else options.seed)
     n = graph.nvtxs
@@ -67,80 +73,106 @@ def refine_kway(
 
     from repro.graph.partition import boundary_mask
 
-    for _ in range(max_passes):
-        moved = 0
-        pass_gain = 0
-        # Only boundary vertices can have positive-gain moves; vertices of
-        # overweight parts are repair candidates whether or not they sit on
-        # the boundary — an interior (or isolated) vertex is often the
-        # *cheapest* one to evict.  Sweep in random order (O(m) NumPy to
-        # find candidates, Python only on the candidate set).
-        cand_mask = boundary_mask(graph, where)
-        heavy = np.flatnonzero(pwgts > maxpwgt)
-        if len(heavy):
-            cand_mask = cand_mask | np.isin(where, heavy)
-        candidates = np.flatnonzero(cand_mask)
-        if len(candidates) == 0:
-            break
-        for v in candidates[rng.permutation(len(candidates))]:
-            v = int(v)
-            s, e = xadj[v], xadj[v + 1]
-            nbr_parts = where[adjncy[s:e]]
-            my = where[v]
-            must_repair = pwgts[my] > maxpwgt
-            if not must_repair and not np.any(nbr_parts != my):
-                continue  # became interior earlier this pass
-            # Edge weight of v toward each adjacent part.  Gains stay in
-            # exact integer arithmetic: the running cut is maintained
-            # incrementally and must never drift.
-            w = adjwgt[s:e]
-            parts, inverse = np.unique(nbr_parts, return_inverse=True)
-            toward = np.bincount(inverse, weights=w).astype(np.int64)
-            my_idx = np.flatnonzero(parts == my)
-            internal = int(toward[my_idx[0]]) if len(my_idx) else 0
-            w_v = int(vwgt[v])
+    trc, owned_trace = resolve_tracer(
+        tracer, options, run="kway-refine", nvtxs=n, nparts=k
+    )
+    try:
+        with trc.span("kway-refine", nparts=k, cut_in=int(cut)) as sp:
+            for _ in range(max_passes):
+                moved = 0
+                pass_gain = 0
+                # Only boundary vertices can have positive-gain moves;
+                # vertices of overweight parts are repair candidates whether
+                # or not they sit on the boundary — an interior (or isolated)
+                # vertex is often the *cheapest* one to evict.  Sweep in
+                # random order (O(m) NumPy to find candidates, Python only
+                # on the candidate set).
+                cand_mask = boundary_mask(graph, where)
+                heavy = np.flatnonzero(pwgts > maxpwgt)
+                if len(heavy):
+                    cand_mask = cand_mask | np.isin(where, heavy)
+                candidates = np.flatnonzero(cand_mask)
+                if len(candidates) == 0:
+                    break
+                for v in candidates[rng.permutation(len(candidates))]:
+                    v = int(v)
+                    s, e = xadj[v], xadj[v + 1]
+                    nbr_parts = where[adjncy[s:e]]
+                    my = where[v]
+                    must_repair = pwgts[my] > maxpwgt
+                    if not must_repair and not np.any(nbr_parts != my):
+                        continue  # became interior earlier this pass
+                    # Edge weight of v toward each adjacent part.  Gains
+                    # stay in exact integer arithmetic: the running cut is
+                    # maintained incrementally and must never drift, so the
+                    # per-part sums accumulate in int64 (bincount's float64
+                    # weights round past 2**53).
+                    w = adjwgt[s:e]
+                    parts, inverse = np.unique(nbr_parts, return_inverse=True)
+                    toward = np.zeros(len(parts), dtype=np.int64)
+                    np.add.at(toward, inverse, w)
+                    my_idx = np.flatnonzero(parts == my)
+                    internal = int(toward[my_idx[0]]) if len(my_idx) else 0
+                    w_v = int(vwgt[v])
 
-            # Destination candidates: adjacent parts (the only targets a
-            # positive-gain move can have); under repair pressure *every*
-            # part qualifies — a non-adjacent destination costs exactly
-            # ``internal``, which is 0 for an interior-of-nothing vertex.
-            tw_by_part = dict(zip(parts.tolist(), toward.tolist()))
-            dests = range(k) if must_repair else parts.tolist()
-            best_part = -1
-            best_key = None
-            for p in dests:
-                if p == my:
-                    continue
-                gain = int(tw_by_part.get(p, 0)) - internal
-                fits = pwgts[p] + w_v <= maxpwgt
-                repairs = must_repair and pwgts[p] + w_v < pwgts[my]
-                if not (fits or repairs):
-                    continue
-                # Maximise gain; break ties toward the lighter destination.
-                key = (gain, -int(pwgts[p]))
-                if best_key is None or key > best_key:
-                    best_part, best_key = int(p), key
-            if best_part == -1:
-                continue
-            best_gain = best_key[0]
-            # Positive-gain moves always; non-positive gains only as
-            # balance repair (the greedy refiner never hill-climbs).
-            if best_gain <= 0 and not must_repair:
-                continue
-            where[v] = best_part
-            pwgts[my] -= w_v
-            pwgts[best_part] += w_v
-            pass_gain += best_gain
-            cut -= best_gain
-            moved += 1
-        if moved == 0:
-            break
-        # Diminishing returns: stop once a whole pass recovers less than
-        # 0.1 % of the cut — later passes cost full sweeps for crumbs.
-        # Never stop early while a part is still overweight: repair passes
-        # recover balance, not cut, and may legitimately gain nothing.
-        if pass_gain < max(1, cut // 1000) and not np.any(pwgts > maxpwgt):
-            break
+                    # Destination candidates: adjacent parts (the only
+                    # targets a positive-gain move can have); under repair
+                    # pressure *every* part qualifies — a non-adjacent
+                    # destination costs exactly ``internal``, which is 0
+                    # for an interior-of-nothing vertex.
+                    tw_by_part = dict(zip(parts.tolist(), toward.tolist()))
+                    dests = range(k) if must_repair else parts.tolist()
+                    best_part = -1
+                    best_key = None
+                    for p in dests:
+                        if p == my:
+                            continue
+                        gain = int(tw_by_part.get(p, 0)) - internal
+                        fits = pwgts[p] + w_v <= maxpwgt
+                        repairs = must_repair and pwgts[p] + w_v < pwgts[my]
+                        if not (fits or repairs):
+                            continue
+                        # Maximise gain; ties toward the lighter destination.
+                        key = (gain, -int(pwgts[p]))
+                        if best_key is None or key > best_key:
+                            best_part, best_key = int(p), key
+                    if best_part == -1:
+                        continue
+                    best_gain = best_key[0]
+                    # Positive-gain moves always; non-positive gains only as
+                    # balance repair (the greedy refiner never hill-climbs).
+                    if best_gain <= 0 and not must_repair:
+                        continue
+                    where[v] = best_part
+                    pwgts[my] -= w_v
+                    pwgts[best_part] += w_v
+                    pass_gain += best_gain
+                    cut -= best_gain
+                    moved += 1
+                if sp:
+                    sp.event(
+                        "kway.pass",
+                        moved=moved,
+                        gain=pass_gain,
+                        boundary=len(candidates),
+                        cut=int(cut),
+                    )
+                if moved == 0:
+                    break
+                # Diminishing returns: stop once a whole pass recovers less
+                # than 0.1 % of the cut — later passes cost full sweeps for
+                # crumbs.  Never stop early while a part is still
+                # overweight: repair passes recover balance, not cut, and
+                # may legitimately gain nothing.
+                if pass_gain < max(1, cut // 1000) and not np.any(
+                    pwgts > maxpwgt
+                ):
+                    break
+            if sp:
+                sp.set(cut_out=int(cut))
+    finally:
+        if owned_trace:
+            trc.close()
 
     san = sanitizer(options)
     if san:

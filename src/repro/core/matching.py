@@ -151,6 +151,33 @@ def compute_matching(graph, scheme, rng=None, cewgt=None) -> np.ndarray:
     return _SCHEMES[scheme](graph, rng)
 
 
+def matching_stats(graph, match) -> dict:
+    """Vectorised per-level matching summary for the tracer.
+
+    Returns ``matched_frac`` (fraction of vertices in a matched pair),
+    ``matched_weight`` (total weight of matched edges — the ``W(M)``
+    removed from the coarser graph) and ``heavy_share`` (``W(M)`` as a
+    fraction of the level's total edge weight).  O(|E|) NumPy work, no
+    Python loop — cheap enough to run once per coarsening level when
+    tracing is on.
+    """
+    match = np.asarray(match)
+    n = graph.nvtxs
+    if n == 0:
+        return {"matched_frac": 0.0, "matched_weight": 0, "heavy_share": 0.0}
+    arange = np.arange(n, dtype=np.int64)
+    match = np.where(match < 0, arange, match)
+    src = np.repeat(arange, np.diff(graph.xadj))
+    pair = (match[src] == graph.adjncy) & (src < graph.adjncy)
+    matched_weight = int(graph.adjwgt[pair].sum())
+    total = int(graph.adjwgt.sum()) // 2
+    return {
+        "matched_frac": float((match != arange).mean()),
+        "matched_weight": matched_weight,
+        "heavy_share": float(matched_weight / total) if total else 0.0,
+    }
+
+
 def is_valid_matching(graph, match) -> bool:
     """Check involution + adjacency: every matched pair is a real edge."""
     match = np.asarray(match)

@@ -25,9 +25,10 @@ import numpy as np
 from repro.analysis.sanitize import sanitizer
 from repro.core.coarsen import CoarseningHierarchy, coarsen
 from repro.core.initial import initial_bisection
-from repro.core.options import DEFAULT_OPTIONS, RefinePolicy
+from repro.core.options import DEFAULT_OPTIONS, InitialScheme, RefinePolicy
 from repro.core.refine import PassStats, refine_bisection
 from repro.graph.partition import Bisection, part_weights
+from repro.obs.tracer import resolve_tracer
 from repro.resilience.deadline import DeadlineGuard
 from repro.resilience.faults import fault_injector
 from repro.resilience.report import ResilienceReport
@@ -149,6 +150,7 @@ def bisect(
     faults=None,
     report=None,
     guard=None,
+    tracer=None,
 ) -> MultilevelResult:
     """Multilevel bisection of ``graph``.
 
@@ -179,6 +181,12 @@ def bisect(
         :class:`~repro.resilience.deadline.DeadlineGuard` spanning an outer
         run; when ``None`` and ``options.deadline`` is set, a guard is
         armed here covering this bisection alone.
+    tracer:
+        :class:`~repro.obs.tracer.Tracer` threaded by an outer driver
+        (k-way, nested dissection) so the whole run forms one span tree;
+        default resolves ``options.trace`` / ``REPRO_TRACE`` via
+        :func:`~repro.obs.tracer.resolve_tracer` and closes the tracer it
+        opened when the bisection finishes.
 
     Returns
     -------
@@ -215,79 +223,108 @@ def bisect(
         int(np.ceil(options.ubfactor * target1)),
     )
 
-    # --- Phase 1: coarsening -----------------------------------------
-    if hierarchy is None:
-        with timers.phase("CTime"):
-            hierarchy = coarsen(graph, options, rng, faults=faults, report=report)
-    coarsest = hierarchy.coarsest
-    _checkpoint(guard, faults, report, hierarchy, None, hierarchy.nlevels - 1, "coarsen")
+    trc, owned_trace = resolve_tracer(
+        tracer, options, run="bisect", nvtxs=graph.nvtxs, nedges=graph.nedges
+    )
+    try:
+        # --- Phase 1: coarsening -------------------------------------
+        if hierarchy is None:
+            with timers.phase("CTime"), trc.span("coarsen", phase="CTime") as sp:
+                hierarchy = coarsen(
+                    graph, options, rng, faults=faults, report=report, span=sp
+                )
+        coarsest = hierarchy.coarsest
+        _checkpoint(guard, faults, report, hierarchy, None, hierarchy.nlevels - 1, "coarsen")
 
-    # --- Phase 2: initial partition ----------------------------------
-    san = sanitizer(options)
-    with timers.phase("ITime"):
-        bisection = initial_bisection(
-            coarsest, options, rng, target0, faults=faults, report=report
-        )
-    initial_cut = bisection.cut
-    if san:
-        san.check_bisection(
-            coarsest,
-            bisection.where,
-            bisection.pwgts,
-            bisection.cut,
-            phase="initial",
-            level=hierarchy.nlevels - 1,
-        )
-
-    # --- Phase 3: uncoarsening ---------------------------------------
-    coarsest_level = hierarchy.nlevels - 1
-    with timers.phase("RTime"):
-        refine_bisection(
-            coarsest,
-            bisection,
-            _effective_policy(options.refinement, guard, faults, report, coarsest_level),
-            options,
-            maxpwgt=maxpwgt,
-            original_nvtxs=graph.nvtxs,
-            stats=stats,
-        )
-    _checkpoint(guard, faults, report, hierarchy, bisection, coarsest_level, "initial")
-    for level in range(hierarchy.nlevels - 2, -1, -1):
-        fine = hierarchy.graphs[level]
-        with timers.phase("PTime"):
-            where = project_where(bisection.where, hierarchy.cmaps[level])
-            bisection = Bisection(
-                where=where,
-                cut=bisection.cut,  # invariant: cut is preserved by projection
-                pwgts=part_weights(fine, where, 2),
+        # --- Phase 2: initial partition ------------------------------
+        san = sanitizer(options)
+        with timers.phase("ITime"), trc.span("initial", phase="ITime") as sp:
+            bisection = initial_bisection(
+                coarsest, options, rng, target0,
+                faults=faults, report=report, span=sp,
             )
+            if sp:
+                sp.set(
+                    scheme=InitialScheme(options.initial).value,
+                    cut=int(bisection.cut),
+                )
+        initial_cut = bisection.cut
         if san:
             san.check_bisection(
-                fine,
+                coarsest,
                 bisection.where,
                 bisection.pwgts,
                 bisection.cut,
-                phase="project",
-                level=level,
+                phase="initial",
+                level=hierarchy.nlevels - 1,
             )
-        with timers.phase("RTime"):
+
+        # --- Phase 3: uncoarsening -----------------------------------
+        coarsest_level = hierarchy.nlevels - 1
+        with timers.phase("RTime"), trc.span(
+            "refine", phase="RTime", level=coarsest_level
+        ) as sp:
             refine_bisection(
-                fine,
+                coarsest,
                 bisection,
-                _effective_policy(options.refinement, guard, faults, report, level),
+                _effective_policy(options.refinement, guard, faults, report, coarsest_level),
                 options,
                 maxpwgt=maxpwgt,
                 original_nvtxs=graph.nvtxs,
                 stats=stats,
+                span=sp,
             )
-        _checkpoint(guard, faults, report, hierarchy, bisection, level, "refine")
+        _checkpoint(guard, faults, report, hierarchy, bisection, coarsest_level, "initial")
+        for level in range(hierarchy.nlevels - 2, -1, -1):
+            fine = hierarchy.graphs[level]
+            with timers.phase("PTime"), trc.span(
+                "project", phase="PTime", level=level
+            ):
+                where = project_where(bisection.where, hierarchy.cmaps[level])
+                bisection = Bisection(
+                    where=where,
+                    cut=bisection.cut,  # invariant: cut is preserved by projection
+                    pwgts=part_weights(fine, where, 2),
+                )
+            if san:
+                san.check_bisection(
+                    fine,
+                    bisection.where,
+                    bisection.pwgts,
+                    bisection.cut,
+                    phase="project",
+                    level=level,
+                )
+            with timers.phase("RTime"), trc.span(
+                "refine", phase="RTime", level=level
+            ) as sp:
+                refine_bisection(
+                    fine,
+                    bisection,
+                    _effective_policy(options.refinement, guard, faults, report, level),
+                    options,
+                    maxpwgt=maxpwgt,
+                    original_nvtxs=graph.nvtxs,
+                    stats=stats,
+                    span=sp,
+                )
+            _checkpoint(guard, faults, report, hierarchy, bisection, level, "refine")
 
-    return MultilevelResult(
-        bisection=bisection,
-        timers=timers,
-        nlevels=hierarchy.nlevels,
-        coarsest_nvtxs=coarsest.nvtxs,
-        initial_cut=initial_cut,
-        stats=stats,
-        resilience=report,
-    )
+        if trc:
+            trc.counter("bisect.calls", 1)
+            trc.counter("fm.moves", stats.moves_tried)
+            trc.counter("fm.rejected", stats.moves_rejected)
+            trc.counter("fm.kept", stats.moves_kept)
+
+        return MultilevelResult(
+            bisection=bisection,
+            timers=timers,
+            nlevels=hierarchy.nlevels,
+            coarsest_nvtxs=coarsest.nvtxs,
+            initial_cut=initial_cut,
+            stats=stats,
+            resilience=report,
+        )
+    finally:
+        if owned_trace:
+            trc.close()

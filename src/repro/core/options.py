@@ -103,6 +103,12 @@ class MultilevelOptions:
         failures at phase boundaries for exercising the fallback chains.
         ``None`` (the default) defers to the ``REPRO_FAULTS`` environment
         variable; when that is also unset, injection is off and free.
+    trace:
+        Structured-trace target (:mod:`repro.obs`): a file path receiving
+        JSONL records, or ``-`` for stdout.  ``None`` (the default) defers
+        to the ``REPRO_TRACE`` environment variable; when that is also
+        unset, tracing is off — results are bit-identical and the null
+        tracer adds no work to the refinement hot loop.
     deadline:
         Wall-clock budget in seconds for one driver entry (``bisect``,
         ``partition``, an ordering).  Refinement degrades (BKLR → BGR) as
@@ -134,6 +140,7 @@ class MultilevelOptions:
     seed: int = 4242
     sanitize: bool = False
     faults: str | None = None
+    trace: str | None = None
     deadline: float | None = None
     max_init_retries: int = 3
 

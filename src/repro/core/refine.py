@@ -49,9 +49,27 @@ from repro.graph.partition import Bisection
 
 @dataclass
 class PassStats:
-    """Statistics of one refinement pass (exposed for the ablation bench)."""
+    """Statistics of one refinement pass (exposed for the ablation bench).
+
+    Attributes
+    ----------
+    moves_tried:
+        Moves actually *executed* (the vertex changed sides), including
+        those later undone.  Candidates popped from the gain tables but
+        rejected by the empty-side or balance gates are **not** counted
+        here — they never move anything — and land in ``moves_rejected``
+        instead.
+    moves_rejected:
+        Candidates rejected by the empty-side / balance gates before any
+        state changed.
+    moves_kept:
+        Executed moves surviving the end-of-pass undo (the best prefix).
+    improvement:
+        Total lexicographic ``(overweight, cut)`` improvement achieved.
+    """
 
     moves_tried: int = 0
+    moves_rejected: int = 0
     moves_kept: int = 0
     improvement: int = 0
 
@@ -83,6 +101,7 @@ def fm_pass(
     eager=False,
     gain_table="heap",
     san=None,
+    span=None,
 ):
     """Run one FM pass in place; return the (non-negative) improvement.
 
@@ -105,6 +124,12 @@ def fm_pass(
         set, the incrementally-maintained degrees and running cut are
         validated against a from-scratch recomputation at the end of the
         move loop (before the undo step).
+    span:
+        Optional open :class:`repro.obs.tracer.Span` (the enclosing
+        refinement span); when truthy a ``refine.pass`` event with the
+        pass statistics is emitted at the end of the pass.  The move loop
+        itself is never instrumented — per-pass only, so the hot path is
+        identical with tracing on or off.
 
     Returns
     -------
@@ -134,6 +159,11 @@ def fm_pass(
     start_key = _balance_key(pwgts, maxpwgt, cut)
     best_key = start_key
     since_best = 0
+    # Per-pass counters (folded into the cumulative ``stats`` at the end so
+    # the traced event can report this pass alone, not the running totals).
+    tried = 0
+    rejected = 0
+    boundary0 = int((ed > 0).sum()) if span else 0
 
     def pop_valid(side):
         """Best unlocked vertex of ``side`` with an up-to-date gain.
@@ -180,12 +210,11 @@ def fm_pass(
         unchosen = (c0, c1)[1 - side]
         if unchosen is not None:
             tables[1 - side].push(unchosen[0], unchosen[1])
-        if stats is not None:
-            stats.moves_tried += 1
         other = 1 - side
         w_v = int(vwgt[v])
         if int(pwgts[side]) == w_v:
             locked[v] = True  # moving v would empty its side
+            rejected += 1
             continue
         dest_after = int(pwgts[other]) + w_v
         # Balance gate: the move must keep the destination under its cap,
@@ -199,9 +228,11 @@ def fm_pass(
             )
             if over_after >= over_before:
                 locked[v] = True  # unusable this pass
+                rejected += 1
                 continue
 
         # Execute the move.
+        tried += 1
         where[v] = other
         pwgts[side] -= w_v
         pwgts[other] += w_v
@@ -260,14 +291,28 @@ def fm_pass(
         pwgts[side] -= w_v
         pwgts[other] += w_v
 
-    if stats is not None:
-        stats.moves_kept += best_prefix
-        stats.improvement += (start_key[0] - best_key[0]) + (
-            start_key[1] - best_key[1]
-        )
-
     # Reconstruct the best-state cut: best_key[1] is exactly it.
     improvement = (start_key[0] - best_key[0]) + (start_key[1] - best_key[1])
+
+    if stats is not None:
+        stats.moves_tried += tried
+        stats.moves_rejected += rejected
+        stats.moves_kept += best_prefix
+        stats.improvement += improvement
+
+    if span:
+        span.event(
+            "refine.pass",
+            moves=tried,
+            rejected=rejected,
+            kept=best_prefix,
+            undo=len(moved) - best_prefix,
+            boundary=boundary0,
+            improvement=improvement,
+            cut=best_key[1],
+            table=gain_table,
+        )
+
     return best_key[1], improvement
 
 
@@ -280,6 +325,7 @@ def refine_bisection(
     maxpwgt=None,
     original_nvtxs=None,
     stats=None,
+    span=None,
 ) -> Bisection:
     """Refine ``bisection`` in place according to ``policy``.
 
@@ -290,6 +336,9 @@ def refine_bisection(
     original_nvtxs:
         |V₀| of the multilevel run, used by BKLGR's 2 % switch; defaults to
         this graph's size (i.e. flat refinement).
+    span:
+        Optional open tracer span; annotated with the resolved policy and
+        forwarded to :func:`fm_pass` for per-pass events.
 
     Returns
     -------
@@ -324,6 +373,9 @@ def refine_bisection(
     boundary_only = policy in (RefinePolicy.BGR, RefinePolicy.BKLR)
     multi_pass = policy in (RefinePolicy.KLR, RefinePolicy.BKLR)
 
+    if span:
+        span.set(policy=policy.value, nvtxs=graph.nvtxs, cut_in=cut)
+
     passes = options.max_kl_passes if multi_pass else 1
     for _ in range(passes):
         cut, improvement = fm_pass(
@@ -338,9 +390,12 @@ def refine_bisection(
             eager=options.eager_gains,
             gain_table=options.gain_table,
             san=san or None,
+            span=span,
         )
         if improvement <= 0:
             break
 
+    if span:
+        span.set(cut_out=cut)
     bisection.cut = cut
     return bisection

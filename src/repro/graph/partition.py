@@ -28,12 +28,33 @@ def edge_cut(graph, where) -> int:
     return int(graph.adjwgt[crossing].sum()) // 2
 
 
+#: Largest total weight for which float64 accumulation is still exact:
+#: every partial sum of non-negative integers bounded by 2**53 is an
+#: integer 2**53 or below, and all of those are representable exactly.
+_FLOAT64_EXACT_LIMIT = 2**53
+
+
 def part_weights(graph, where, nparts=None) -> np.ndarray:
-    """Vertex weight carried by each part, as an int64 array of length k."""
+    """Vertex weight carried by each part, as an int64 array of length k.
+
+    Accumulation stays in exact integer arithmetic for any int64 vertex
+    weights: ``np.bincount(..., weights=...)`` sums in float64, which
+    silently rounds once a partial sum exceeds 2**53, so it is used only
+    when the graph's *total* vertex weight provably fits; heavier graphs
+    take the ``np.add.at`` int64 path.
+    """
     where = np.asarray(where)
     if nparts is None:
         nparts = int(where.max()) + 1 if len(where) else 0
-    return np.bincount(where, weights=graph.vwgt, minlength=nparts).astype(np.int64)
+    if len(where) == 0:
+        return np.zeros(nparts, dtype=np.int64)
+    if graph.total_vwgt() <= _FLOAT64_EXACT_LIMIT:
+        return np.bincount(
+            where, weights=graph.vwgt, minlength=nparts
+        ).astype(np.int64)
+    out = np.zeros(max(nparts, int(where.max()) + 1), dtype=np.int64)
+    np.add.at(out, where, graph.vwgt)
+    return out
 
 
 def boundary_mask(graph, where) -> np.ndarray:

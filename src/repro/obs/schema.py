@@ -1,0 +1,146 @@
+"""The versioned JSONL trace schema (``repro-trace`` v1) and its validator.
+
+Every line a :class:`~repro.obs.tracer.Tracer` writes is one JSON object
+carrying the schema version (``"v"``) and a record kind (``"t"``):
+
+``meta``
+    Run header, written once per tracer: ``run`` (driver entry name),
+    ``time`` (UTC ISO timestamp) and free-form ``fields``.
+``span``
+    A finished timed region: ``id``, ``parent`` (span id or null),
+    ``name``, ``t0`` (seconds since the tracer's epoch), ``dur``
+    (seconds) and ``fields``.  Phase spans carry ``fields.phase`` —
+    one of the paper's CTime/ITime/RTime/PTime keys — which is what
+    reconciles span totals with ``result.timers``.
+``event``
+    A point-in-time record: ``name``, ``span`` (enclosing span id or
+    null), ``at`` (seconds since epoch) and ``fields``.
+``counters``
+    Accumulated totals, written once when the tracer closes: ``values``
+    mapping counter name to number.
+
+The validator is deliberately strict — unknown record kinds, missing or
+mistyped keys, and *extra* top-level keys all raise
+:class:`~repro.utils.errors.TraceError` — so a passing
+:func:`validate_trace` genuinely pins the shape consumers can rely on.
+Schema evolution bumps :data:`SCHEMA_VERSION`; readers reject versions
+they do not know rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.utils.errors import TraceError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RECORD_KINDS",
+    "PHASE_KEYS",
+    "validate_record",
+    "validate_trace_lines",
+]
+
+#: Current trace schema version; every record carries it as ``"v"``.
+SCHEMA_VERSION = 1
+
+#: The recognised record kinds (the ``"t"`` key).
+RECORD_KINDS = ("meta", "span", "event", "counters")
+
+#: The paper's per-phase accounting keys a phase span may be tagged with.
+PHASE_KEYS = ("CTime", "ITime", "RTime", "PTime")
+
+#: kind → {key: allowed types}; every key is required, no extras allowed.
+_SHAPES = {
+    "meta": {"run": (str,), "time": (str,), "fields": (dict,)},
+    "span": {
+        "id": (int,),
+        "parent": (int, type(None)),
+        "name": (str,),
+        "t0": (int, float),
+        "dur": (int, float),
+        "fields": (dict,),
+    },
+    "event": {
+        "name": (str,),
+        "span": (int, type(None)),
+        "at": (int, float),
+        "fields": (dict,),
+    },
+    "counters": {"values": (dict,)},
+}
+
+
+def validate_record(record, *, line=None) -> dict:
+    """Validate one trace record against the schema; return it unchanged.
+
+    Raises
+    ------
+    repro.utils.errors.TraceError
+        Naming the offending key (and ``line`` when given).
+    """
+    if not isinstance(record, dict):
+        raise TraceError(
+            f"trace record must be a JSON object, got {type(record).__name__}",
+            line=line,
+        )
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise TraceError(
+            f"unsupported trace schema version {version!r} "
+            f"(this reader knows v{SCHEMA_VERSION})",
+            line=line,
+        )
+    kind = record.get("t")
+    if kind not in RECORD_KINDS:
+        raise TraceError(
+            f"unknown record kind {kind!r}; expected one of {RECORD_KINDS}",
+            line=line,
+        )
+    shape = _SHAPES[kind]
+    for key, types in shape.items():
+        if key not in record:
+            raise TraceError(f"{kind} record missing key {key!r}", line=line)
+        value = record[key]
+        # bool is an int subclass; never a valid value for these keys.
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise TraceError(
+                f"{kind} record key {key!r} has type "
+                f"{type(value).__name__}, expected "
+                f"{' or '.join(t.__name__ for t in types)}",
+                line=line,
+            )
+    extras = set(record) - set(shape) - {"v", "t"}
+    if extras:
+        raise TraceError(
+            f"{kind} record carries unknown keys {sorted(extras)}", line=line
+        )
+    if kind == "span" and record["dur"] < 0:
+        raise TraceError("span duration must be non-negative", line=line)
+    if kind == "counters":
+        for name, value in record["values"].items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TraceError(
+                    f"counter {name!r} has non-numeric value {value!r}",
+                    line=line,
+                )
+    return record
+
+
+def validate_trace_lines(lines) -> list[dict]:
+    """Parse and validate an iterable of JSONL lines; return the records.
+
+    Blank lines are ignored.  Raises
+    :class:`~repro.utils.errors.TraceError` on the first malformed line.
+    """
+    records = []
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"invalid JSON: {exc}", line=lineno) from None
+        records.append(validate_record(record, line=lineno))
+    return records

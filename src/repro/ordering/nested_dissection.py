@@ -26,6 +26,7 @@ from repro.analysis.sanitize import sanitizer
 from repro.core.multilevel import bisect as ml_bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import connected_components, extract_subgraph
+from repro.obs.tracer import resolve_tracer
 from repro.ordering.base import Ordering
 from repro.ordering.mmd import mmd_ordering
 from repro.ordering.vertex_cover import vertex_separator_from_bisection
@@ -58,18 +59,25 @@ def mlnd_ordering(
     guard = None
     if options.deadline is not None:
         guard = DeadlineGuard(options.deadline)
+    trc, owned_trace = resolve_tracer(
+        None, options, run="mlnd", nvtxs=graph.nvtxs, nedges=graph.nedges
+    )
 
     def bisector(subgraph, child_rng):
         return ml_bisect(
             subgraph, options, child_rng, faults=faults, report=report,
-            guard=guard,
+            guard=guard, tracer=trc,
         ).bisection.where
 
-    return nested_dissection_ordering(
-        graph, bisector, rng, leaf_size=leaf_size, method="mlnd",
-        refine_separator=refine_separator, options=options, report=report,
-        guard=guard,
-    )
+    try:
+        return nested_dissection_ordering(
+            graph, bisector, rng, leaf_size=leaf_size, method="mlnd",
+            refine_separator=refine_separator, options=options, report=report,
+            guard=guard, tracer=trc,
+        )
+    finally:
+        if owned_trace:
+            trc.close()
 
 
 def nested_dissection_ordering(
@@ -83,6 +91,7 @@ def nested_dissection_ordering(
     options=None,
     report=None,
     guard=None,
+    tracer=None,
 ) -> Ordering:
     """Generic nested-dissection driver.
 
@@ -110,6 +119,12 @@ def nested_dissection_ordering(
         Optional :class:`~repro.resilience.deadline.DeadlineGuard`; once it
         expires, every remaining subgraph is ordered with MMD (recorded as
         a degradation) — dissection never raises on deadline.
+    tracer:
+        Optional threaded :class:`~repro.obs.tracer.Tracer` (default:
+        ``options.trace`` / ``REPRO_TRACE``).  The dissection runs inside
+        one ``dissect`` span carrying ``nd.separator`` / ``nd.fallback`` /
+        ``nd.degraded`` events, with each sub-bisection's phase spans
+        nested under it.
 
     Returns
     -------
@@ -121,7 +136,31 @@ def nested_dissection_ordering(
         report = ResilienceReport()
     n = graph.nvtxs
     perm = np.empty(n, dtype=np.int64)
+    trc, owned_trace = resolve_tracer(tracer, options, run=method, nvtxs=n)
 
+    try:
+        with trc.span("dissect", method=method) as sp:
+            _dissect(
+                graph, bisector, rng, perm, leaf_size, refine_separator,
+                san, report, guard, sp,
+            )
+    finally:
+        if owned_trace:
+            trc.close()
+
+    ordering = Ordering.from_perm(perm, method)
+    ordering.meta["resilience"] = report
+    return ordering
+
+
+def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
+             report, guard, sp):
+    """The dissection loop of :func:`nested_dissection_ordering`.
+
+    Fills ``perm`` in place; ``sp`` is the enclosing ``dissect`` span (or a
+    null span when tracing is off).
+    """
+    n = graph.nvtxs
     # Explicit stack of (subgraph, vmap, lo, hi, depth) jobs; positions
     # [lo, hi) belong to the subgraph.  Avoids Python recursion limits on
     # deep dissections of path-like graphs.
@@ -159,6 +198,10 @@ def nested_dissection_ordering(
                 f"deadline expired; MMD on remaining {nv}-vertex subgraph",
                 level=depth,
             )
+            if sp:
+                sp.event(
+                    "nd.degraded", reason="deadline", nvtxs=nv, depth=depth
+                )
             continue
 
         try:
@@ -175,6 +218,13 @@ def nested_dissection_ordering(
                 "subgraph",
                 level=depth,
             )
+            if sp:
+                sp.event(
+                    "nd.degraded",
+                    reason="deadline-mid-bisection",
+                    nvtxs=nv,
+                    depth=depth,
+                )
             continue
         except ReproError as exc:
             leaf = mmd_ordering(sub)
@@ -185,6 +235,13 @@ def nested_dissection_ordering(
                 f"bisector failed ({exc}); MMD on {nv}-vertex subgraph",
                 level=depth,
             )
+            if sp:
+                sp.event(
+                    "nd.fallback",
+                    reason="bisector-error",
+                    nvtxs=nv,
+                    depth=depth,
+                )
             continue
         sep = vertex_separator_from_bisection(sub, where)
         if refine_separator and len(sep):
@@ -220,8 +277,24 @@ def nested_dissection_ordering(
                 f"{nv}-vertex subgraph",
                 level=depth,
             )
+            if sp:
+                sp.event(
+                    "nd.fallback",
+                    reason="degenerate-split",
+                    nvtxs=nv,
+                    depth=depth,
+                )
             continue
 
+        if sp:
+            sp.event(
+                "nd.separator",
+                depth=depth,
+                nvtxs=nv,
+                sep=len(sep),
+                a=len(a_ids),
+                b=len(b_ids),
+            )
         # Separator vertices are numbered last within [lo, hi).
         sep_lo = hi - len(sep)
         perm[sep_lo:hi] = vmap[sep]
@@ -229,7 +302,3 @@ def nested_dissection_ordering(
         b_sub, _ = extract_subgraph(sub, b_ids)
         stack.append((a_sub, vmap[a_ids], lo, lo + len(a_ids), depth + 1))
         stack.append((b_sub, vmap[b_ids], lo + len(a_ids), sep_lo, depth + 1))
-
-    ordering = Ordering.from_perm(perm, method)
-    ordering.meta["resilience"] = report
-    return ordering

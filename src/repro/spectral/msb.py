@@ -28,46 +28,62 @@ from repro.core.kway import partition as _kway_partition
 from repro.core.multilevel import MultilevelResult
 from repro.core.options import DEFAULT_OPTIONS, MatchingScheme, RefinePolicy
 from repro.core.refine import PassStats, refine_bisection
+from repro.obs.tracer import resolve_tracer
 from repro.spectral.fiedler import DENSE_THRESHOLD, fiedler_vector
 from repro.utils.errors import PartitionError, SpectralConvergenceError
 from repro.utils.rng import as_generator
 from repro.utils.timing import PhaseTimer
 
 
-def msb_fiedler(graph, options=DEFAULT_OPTIONS, rng=None, timers=None) -> np.ndarray:
+def msb_fiedler(
+    graph, options=DEFAULT_OPTIONS, rng=None, timers=None, *, tracer=None
+) -> np.ndarray:
     """Fiedler vector of ``graph`` via the multilevel (MSB) scheme."""
     rng = as_generator(rng if rng is not None else options.seed)
     if timers is None:
         timers = PhaseTimer()
-    msb_options = options.with_(matching=MatchingScheme.RM)
-    with timers.phase("CTime"):
-        hierarchy = coarsen(graph, msb_options, rng)
-    with timers.phase("ITime"):
-        vec = fiedler_vector(hierarchy.coarsest, rng)
-    for level in range(hierarchy.nlevels - 2, -1, -1):
-        fine = hierarchy.graphs[level]
-        with timers.phase("PTime"):
-            vec = vec[hierarchy.cmaps[level]]  # interpolate
-        with timers.phase("RTime"):
-            if fine.nvtxs <= DENSE_THRESHOLD:
-                vec = fiedler_vector(fine, rng)
-            else:
-                try:
-                    vec = fiedler_vector(
-                        fine,
-                        rng,
-                        start=vec,
-                        force_lanczos=True,
-                        krylov_dim=25,
-                        restarts=4,
-                        tol=1e-6,
-                    )
-                except SpectralConvergenceError:
-                    # A failed polish keeps the interpolated coarse vector —
-                    # that is MSB's whole premise (the interpolant is already
-                    # close); the next finer level polishes from it again.
-                    pass
-    return vec
+    trc, owned_trace = resolve_tracer(
+        tracer, options, run="msb-fiedler", nvtxs=graph.nvtxs
+    )
+    try:
+        msb_options = options.with_(matching=MatchingScheme.RM)
+        with timers.phase("CTime"), trc.span("coarsen", phase="CTime") as sp:
+            hierarchy = coarsen(graph, msb_options, rng, span=sp)
+        with timers.phase("ITime"), trc.span("fiedler", phase="ITime"):
+            vec = fiedler_vector(hierarchy.coarsest, rng)
+        for level in range(hierarchy.nlevels - 2, -1, -1):
+            fine = hierarchy.graphs[level]
+            with timers.phase("PTime"), trc.span(
+                "interpolate", phase="PTime", level=level
+            ):
+                vec = vec[hierarchy.cmaps[level]]  # interpolate
+            with timers.phase("RTime"), trc.span(
+                "polish", phase="RTime", level=level
+            ) as sp:
+                if fine.nvtxs <= DENSE_THRESHOLD:
+                    vec = fiedler_vector(fine, rng)
+                else:
+                    try:
+                        vec = fiedler_vector(
+                            fine,
+                            rng,
+                            start=vec,
+                            force_lanczos=True,
+                            krylov_dim=25,
+                            restarts=4,
+                            tol=1e-6,
+                        )
+                    except SpectralConvergenceError:
+                        # A failed polish keeps the interpolated coarse
+                        # vector — that is MSB's whole premise (the
+                        # interpolant is already close); the next finer
+                        # level polishes from it again.
+                        if sp:
+                            sp.set(polish="kept-interpolant")
+        return vec
+    finally:
+        if owned_trace:
+            trc.close()
 
 
 def msb_bisect(
@@ -87,33 +103,43 @@ def msb_bisect(
     total = graph.total_vwgt()
     if target0 is None:
         target0 = total // 2
-    vec = msb_fiedler(graph, options, rng, timers)
-    with timers.phase("ITime"):
-        bisection = split_at_weighted_median(graph, vec, target0)
-    initial_cut = bisection.cut
-    if kl_refine:
-        target1 = total - target0
-        maxpwgt = (
-            int(np.ceil(options.ubfactor * target0)),
-            int(np.ceil(options.ubfactor * target1)),
-        )
-        with timers.phase("RTime"):
-            refine_bisection(
-                graph,
-                bisection,
-                RefinePolicy.KLR,
-                options,
-                maxpwgt=maxpwgt,
-                stats=stats,
-            )
-    return MultilevelResult(
-        bisection=bisection,
-        timers=timers,
-        nlevels=1,
-        coarsest_nvtxs=graph.nvtxs,
-        initial_cut=initial_cut,
-        stats=stats,
+    trc, owned_trace = resolve_tracer(
+        None, options, run="msb", nvtxs=graph.nvtxs
     )
+    try:
+        vec = msb_fiedler(graph, options, rng, timers, tracer=trc)
+        with timers.phase("ITime"), trc.span("split", phase="ITime"):
+            bisection = split_at_weighted_median(graph, vec, target0)
+        initial_cut = bisection.cut
+        if kl_refine:
+            target1 = total - target0
+            maxpwgt = (
+                int(np.ceil(options.ubfactor * target0)),
+                int(np.ceil(options.ubfactor * target1)),
+            )
+            with timers.phase("RTime"), trc.span(
+                "refine", phase="RTime"
+            ) as sp:
+                refine_bisection(
+                    graph,
+                    bisection,
+                    RefinePolicy.KLR,
+                    options,
+                    maxpwgt=maxpwgt,
+                    stats=stats,
+                    span=sp,
+                )
+        return MultilevelResult(
+            bisection=bisection,
+            timers=timers,
+            nlevels=1,
+            coarsest_nvtxs=graph.nvtxs,
+            initial_cut=initial_cut,
+            stats=stats,
+        )
+    finally:
+        if owned_trace:
+            trc.close()
 
 
 def msb_partition(graph, nparts, options=DEFAULT_OPTIONS, rng=None, *, kl_refine=False):

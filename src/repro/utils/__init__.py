@@ -11,6 +11,7 @@ from repro.utils.errors import (
     PartitionError,
     ReproError,
     SanitizerError,
+    TraceError,
     UnknownWorkloadError,
 )
 from repro.utils.rng import as_generator, spawn_child
@@ -22,6 +23,7 @@ __all__ = [
     "GraphValidationError",
     "PartitionError",
     "SanitizerError",
+    "TraceError",
     "UnknownWorkloadError",
     "as_generator",
     "spawn_child",

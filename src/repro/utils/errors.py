@@ -126,6 +126,27 @@ class UnknownWorkloadError(ReproError, KeyError):
     """
 
 
+class TraceError(ReproError):
+    """A trace file or record violates the observability schema.
+
+    Raised by :func:`repro.obs.schema.validate_record` (and the readers
+    built on it) when a JSONL trace is malformed: wrong schema version,
+    unknown record kind, missing or mistyped fields.  See
+    ``docs/OBSERVABILITY.md``.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending record in its file, or
+        ``None`` when validating a free-standing record.
+    """
+
+    def __init__(self, message: str, *, line=None):
+        self.line = line
+        at = "" if line is None else f"[line {line}] "
+        super().__init__(f"{at}{message}")
+
+
 class SanitizerError(ReproError):
     """A runtime invariant check of the multilevel pipeline failed.
 

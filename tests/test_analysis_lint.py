@@ -76,6 +76,13 @@ VIOLATIONS = {
         "    except ReproError:\n"
         "        return default\n",
     ),
+    # A bare span call leaks the span; RP010 flags it everywhere.
+    "RP010": (
+        "pkg/tracing.py",
+        "def run(trc, graph):\n"
+        "    trc.span('coarsen', nvtxs=graph.nvtxs)\n"
+        "    return graph\n",
+    ),
 }
 
 
@@ -200,6 +207,37 @@ class TestSuppression:
         )
         assert lint_paths([f]) == []
 
+    def test_rp010_event_nesting_in_core(self, tmp_path):
+        f = tmp_path / "core" / "tr.py"
+        f.parent.mkdir()
+        f.write_text(
+            "def run(trc, graph):\n"
+            "    trc.event('loose', nvtxs=graph.nvtxs)\n"
+        )
+        assert [f_.rule_id for f_ in lint_paths([f])] == ["RP010"]
+
+    def test_rp010_allows_nested_events_and_span_receivers(self, tmp_path):
+        f = tmp_path / "core" / "ok.py"
+        f.parent.mkdir()
+        f.write_text(
+            "def run(trc, span, graph):\n"
+            "    with trc.span('coarsen') as sp:\n"
+            "        trc.event('level', nvtxs=graph.nvtxs)\n"
+            "        sp.event('level', nvtxs=graph.nvtxs)\n"
+            "    if span:\n"
+            "        span.event('pass', moves=0)\n"
+        )
+        assert lint_paths([f]) == []
+
+    def test_rp010_event_outside_core_is_fine(self, tmp_path):
+        f = tmp_path / "bench" / "tr.py"
+        f.parent.mkdir()
+        f.write_text(
+            "def run(trc, graph):\n"
+            "    trc.event('loose', nvtxs=graph.nvtxs)\n"
+        )
+        assert lint_paths([f]) == []
+
     def test_collect_suppressions_parsing(self):
         table = collect_suppressions(
             "a = 1\n"
@@ -231,6 +269,6 @@ class TestShippedTree:
         )
         assert findings == [], format_findings(findings)
 
-    def test_default_rules_cover_rp001_to_rp009(self):
+    def test_default_rules_cover_rp001_to_rp010(self):
         ids = [r.id for r in default_rules()]
-        assert ids == [f"RP00{i}" for i in range(1, 10)]
+        assert ids == [f"RP{i:03d}" for i in range(1, 11)]

@@ -8,6 +8,7 @@ from repro.graph import (
     edge_cut,
     from_edge_list,
     halo_sizes,
+    part_weights,
     partition_report,
     permute_graph,
     subdomain_connectivity,
@@ -84,6 +85,37 @@ class TestPartitionReport:
         assert rep.max_connectivity == 2
         assert rep.pwgts == (2, 2, 2)
         assert rep.balance == pytest.approx(1.0)
+
+
+class TestPartWeights:
+    def test_matches_bincount_on_small_weights(self):
+        g = random_graph(30, p=0.2, seed=3)
+        where = np.random.default_rng(0).integers(0, 3, g.nvtxs)
+        got = part_weights(g, where, 3)
+        want = np.bincount(where, weights=g.vwgt, minlength=3).astype(np.int64)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, want)
+
+    def test_exact_above_float64_limit(self):
+        # Regression: float64 bincount loses ulps once partial sums pass
+        # 2^53; the int64 accumulation path must stay exact.  Weights near
+        # 2^60 plus a few odd units make any rounding visible.
+        big = np.int64(1) << 60
+        vwgt = np.array([big, 3, big, 5, big, 7], dtype=np.int64)
+        g = from_edge_list(6, [(i, i + 1) for i in range(5)], vwgt=vwgt)
+        where = np.array([0, 1, 0, 1, 1, 0])
+        got = part_weights(g, where, 2)
+        assert got.dtype == np.int64
+        assert got[0] == 2 * big + 7
+        assert got[1] == big + 8
+        # The float64 path would round these totals to multiples of 256.
+        assert got[0] % 2 == 1
+
+    def test_empty_where(self):
+        g = from_edge_list(2, [(0, 1)])
+        assert np.array_equal(
+            part_weights(g, np.array([], dtype=np.int64), 2), [0, 0]
+        )
 
 
 class TestPermuteGraph:

@@ -1,0 +1,193 @@
+"""Integration tests: tracing threaded through the real pipeline.
+
+Runs the public drivers with a live tracer and checks the trace is
+schema-valid, forms one well-nested span tree per driver entry, and that
+the per-phase span totals reconcile with the ``PhaseTimer`` numbers the
+result reports (the acceptance bar for the observability layer).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import bisect, partition
+from repro.core.options import DEFAULT_OPTIONS
+from repro.graph import write_graph
+from repro.matrices import grid2d
+from repro.obs import PHASE_KEYS, profile, read_trace
+from repro.ordering import mlnd_ordering
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    return str(tmp_path / "trace.jsonl")
+
+
+def phase_fields(records):
+    """phase tag → summed span duration, from raw records."""
+    return profile(records)["phases"]
+
+
+class TestBisectTrace:
+    def test_schema_valid_and_reconciles_with_timers(self, trace_path):
+        g = grid2d(20, 19)
+        options = DEFAULT_OPTIONS.with_(trace=trace_path)
+        result = bisect(g, options, np.random.default_rng(1))
+        records = read_trace(trace_path)  # validates every line
+
+        kinds = {r["t"] for r in records}
+        assert {"meta", "span", "event"} <= kinds
+        meta = records[0]
+        assert meta["t"] == "meta" and meta["run"] == "bisect"
+        assert meta["fields"]["nvtxs"] == g.nvtxs
+
+        # Span totals must reconcile with the result's phase timers: every
+        # phase span is opened inside the matching ``timers.phase`` block,
+        # so the span sum is bounded by the timer and accounts for almost
+        # all of it (the gap is the with-statement bookkeeping itself).
+        phases = phase_fields(records)
+        for key in PHASE_KEYS:
+            timer = result.timers.total(key)
+            assert phases[key] <= timer + 1e-6, key
+            assert timer - phases[key] < 0.05, (key, timer, phases[key])
+
+    def test_span_tree_is_well_nested(self, trace_path):
+        g = grid2d(12, 12)
+        bisect(
+            g, DEFAULT_OPTIONS.with_(trace=trace_path), np.random.default_rng(0)
+        )
+        spans = {r["id"]: r for r in read_trace(trace_path) if r["t"] == "span"}
+        names = {s["name"] for s in spans.values()}
+        assert {"coarsen", "initial", "refine", "project"} <= names
+        for span in spans.values():
+            if span["parent"] is not None:
+                parent = spans[span["parent"]]
+                assert parent["t0"] <= span["t0"] + 1e-9
+            if span["name"] in ("coarsen", "initial", "refine", "project"):
+                assert span["fields"]["phase"] in PHASE_KEYS
+
+    def test_events_and_counters_reconcile_with_stats(self, trace_path):
+        g = grid2d(16, 16)
+        result = bisect(
+            g, DEFAULT_OPTIONS.with_(trace=trace_path), np.random.default_rng(2)
+        )
+        records = read_trace(trace_path)
+        events = [r for r in records if r["t"] == "event"]
+        by_name = {}
+        for e in events:
+            by_name.setdefault(e["name"], []).append(e)
+        # One coarsen.level event per contraction.
+        assert len(by_name["coarsen.level"]) == result.nlevels - 1
+        # FM pass events: the accounting satellite — moves executed and
+        # rejected are reported separately and sum to the stats totals.
+        passes = by_name["refine.pass"]
+        assert sum(e["fields"]["moves"] for e in passes) == result.stats.moves_tried
+        assert (
+            sum(e["fields"]["rejected"] for e in passes)
+            == result.stats.moves_rejected
+        )
+        assert sum(e["fields"]["kept"] for e in passes) == result.stats.moves_kept
+        (counters,) = [r for r in records if r["t"] == "counters"]
+        assert counters["values"]["fm.moves"] == result.stats.moves_tried
+        assert counters["values"]["bisect.calls"] == 1
+
+    def test_initial_attempt_events(self, trace_path):
+        g = grid2d(10, 10)
+        bisect(
+            g, DEFAULT_OPTIONS.with_(trace=trace_path), np.random.default_rng(0)
+        )
+        records = read_trace(trace_path)
+        attempts = [r for r in records if r["t"] == "event"
+                    and r["name"] == "initial.attempt"]
+        assert attempts
+        assert attempts[-1]["fields"]["outcome"] == "accepted"
+
+
+class TestDriverTraces:
+    def test_kway_partition_single_tree(self, trace_path):
+        g = grid2d(14, 14)
+        result = partition(
+            g, 4, DEFAULT_OPTIONS.with_(trace=trace_path),
+            np.random.default_rng(0),
+        )
+        records = read_trace(trace_path)
+        metas = [r for r in records if r["t"] == "meta"]
+        # One tracer spans the whole recursive run — not one per bisect.
+        assert len(metas) == 1 and metas[0]["run"] == "partition"
+        roots = [
+            r for r in records
+            if r["t"] == "span" and r["parent"] is None
+        ]
+        assert [r["name"] for r in roots] == ["partition"]
+        assert roots[0]["fields"]["cut"] == result.cut
+        (counters,) = [r for r in records if r["t"] == "counters"]
+        assert counters["values"]["bisect.calls"] == 3  # 4 parts → 3 bisects
+
+    def test_ordering_trace(self, trace_path):
+        g = grid2d(12, 12)
+        mlnd_ordering(
+            g, DEFAULT_OPTIONS.with_(trace=trace_path),
+            np.random.default_rng(0),
+        )
+        records = read_trace(trace_path)
+        assert records[0]["run"] == "mlnd"
+        names = {r["name"] for r in records if r["t"] == "span"}
+        assert "dissect" in names
+        events = {r["name"] for r in records if r["t"] == "event"}
+        assert "nd.separator" in events
+
+
+class TestCLITrace:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "grid.graph"
+        write_graph(grid2d(10, 10), path)
+        return str(path)
+
+    def test_partition_trace_flag(self, graph_file, trace_path, capsys):
+        assert cli_main(
+            ["partition", graph_file, "4", "--trace", trace_path]
+        ) == 0
+        records = read_trace(trace_path)
+        assert records[0]["run"] == "partition"
+
+    def test_trace_subcommand_text(self, graph_file, trace_path, capsys):
+        assert cli_main(
+            ["partition", graph_file, "2", "--trace", trace_path]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "runs:" in out and "CTime" in out and "spans" in out
+
+    def test_trace_subcommand_json(self, graph_file, trace_path, capsys):
+        assert cli_main(
+            ["partition", graph_file, "2", "--trace", trace_path]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["trace", trace_path, "--json"]) == 0
+        prof = json.loads(capsys.readouterr().out)
+        assert set(prof) == {"runs", "phases", "spans", "events", "counters"}
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert cli_main(["trace", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        assert cli_main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_order_trace_flag(self, graph_file, trace_path, capsys):
+        assert cli_main(
+            ["order", graph_file, "--trace", trace_path]
+        ) == 0
+        assert read_trace(trace_path)[0]["run"] == "mlnd"
+
+    def test_trace_to_stdout(self, graph_file, capsys):
+        assert cli_main(["partition", graph_file, "2", "--trace", "-"]) == 0
+        out = capsys.readouterr().out
+        jsonl = [ln for ln in out.splitlines() if ln.startswith("{")]
+        assert any('"t":"meta"' in ln for ln in jsonl)

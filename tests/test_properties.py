@@ -169,6 +169,56 @@ def test_bisect_always_valid(g, seed):
     assert counts[0] > 0 and counts[1] > 0
 
 
+#: The policies that actually move vertices (NONE would vacuously pass).
+_MOVE_POLICIES = [
+    RefinePolicy.GR,
+    RefinePolicy.KLR,
+    RefinePolicy.BGR,
+    RefinePolicy.BKLR,
+    RefinePolicy.BKLGR,
+]
+
+
+@given(
+    graphs(min_n=4, weighted=True),
+    st.sampled_from(_MOVE_POLICIES),
+    st.sampled_from(["heap", "bucket"]),
+    st.booleans(),
+    st.integers(0, 3),
+)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_bisect_cut_exact_across_engines(g, policy, table, eager, seed):
+    """Returned cut == recomputed edge_cut for every refinement engine.
+
+    Sweeps policy × gain-table structure × gain-update strategy: the cached
+    cut the incremental FM machinery maintains must agree exactly with a
+    from-scratch :func:`edge_cut` recount no matter which engine ran.
+    """
+    options = DEFAULT_OPTIONS.with_(
+        refinement=policy, gain_table=table, eager_gains=eager, coarsen_to=4
+    )
+    result = bisect(g, options, np.random.default_rng(seed))
+    b = result.bisection
+    assert b.cut == edge_cut(g, b.where)
+    assert np.array_equal(b.pwgts, part_weights(g, b.where, 2))
+    b.verify(g)
+
+
+def test_public_driver_verifies_under_sanitizer(monkeypatch):
+    """The public drivers survive REPRO_SANITIZE=1 and verify exactly."""
+    from repro.core import partition
+    from repro.matrices.mesh2d import grid2d
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    g = grid2d(12, 11)
+    for policy in _MOVE_POLICIES:
+        options = DEFAULT_OPTIONS.with_(refinement=policy)
+        result = bisect(g, options, np.random.default_rng(7))
+        result.bisection.verify(g)
+        kway = partition(g, 4, options, np.random.default_rng(7))
+        assert kway.cut == edge_cut(g, kway.where)
+
+
 # --------------------------------------------------------------------------
 # separators and orderings
 # --------------------------------------------------------------------------
