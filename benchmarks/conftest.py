@@ -11,15 +11,22 @@ Every experiment prints its paper-table/figure analogue to stdout (run
 pytest with ``-s`` to see them live; they are also echoed into the
 terminalreporter at the end).  Experiments that report via
 :func:`record_result` additionally persist their rows as machine-readable
-``BENCH_<table>.json`` files in the repository root when the session ends
-(schema: ``repro-bench/1``, see :mod:`repro.obs.export` and
-docs/OBSERVABILITY.md) — the text tables are for humans, the JSON is what
-tooling and trend tracking consume.
+``BENCH_<table>.json`` files in the repository root (schema:
+``repro-bench/1``, see :mod:`repro.obs.export` and docs/OBSERVABILITY.md)
+— the text tables are for humans, the JSON is what tooling and the
+``repro bench-diff`` regression gate consume.  Each table is written the
+moment it is recorded *and* rewritten at session end: an interrupted run
+(Ctrl-C mid-suite, a later benchmark crashing) still leaves every
+completed table on disk.
 """
 
 import os
 
 import pytest
+
+#: Repository root — resolved from this file so the write-on-record path
+#: is stable regardless of pytest's rootpath detection or the cwd.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Reduced default scale so a full benchmark pass stays laptop-friendly;
 #: override with REPRO_BENCH_SCALE.
@@ -46,19 +53,26 @@ def record_result(table: str, rows, columns, *, title: str = "",
 
     record_report(format_table(rows, list(columns), title=title))
     _RESULTS.append((table, list(rows), list(columns), title, extra))
+    # Persist immediately so an interrupted session keeps every table
+    # completed so far; sessionfinish rewrites the same files (idempotent).
+    _write_result(_REPO_ROOT, table, rows, columns, title, extra)
+
+
+def _write_result(root, table, rows, columns, title, extra) -> None:
+    from repro.obs import bench_payload, write_bench_json
+
+    payload = bench_payload(
+        table, rows, title=title, columns=list(columns), extra=extra
+    )
+    write_bench_json(os.path.join(root, f"BENCH_{table}.json"), payload)
 
 
 def pytest_sessionfinish(session):
     if not _RESULTS:
         return
-    from repro.obs import bench_payload, write_bench_json
-
     root = str(session.config.rootpath)
     for table, rows, columns, title, extra in _RESULTS:
-        payload = bench_payload(
-            table, rows, title=title, columns=columns, extra=extra
-        )
-        write_bench_json(os.path.join(root, f"BENCH_{table}.json"), payload)
+        _write_result(root, table, rows, columns, title, extra)
 
 
 @pytest.hookimpl(trylast=True)

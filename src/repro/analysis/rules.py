@@ -632,6 +632,91 @@ class ObsHygieneRule(Rule):
                     )
 
 
+class CachedExpansionRule(Rule):
+    """RP011 — hot paths must use the cached CSR expansion arrays.
+
+    :class:`~repro.graph.csr.CSRGraph` caches its per-vertex degree array
+    (``graph.degrees()``) and the edge-source expansion
+    (``graph.edge_sources()``), so rebuilding either one inline —
+    ``np.diff(xadj)`` or ``np.repeat(arange(n), degrees)`` — inside the
+    pipeline packages re-materialises an O(n)/O(m) array on every call of
+    a per-level routine.  That is exactly the allocation churn the
+    vectorized kernels removed (docs/PERFORMANCE.md); this rule keeps it
+    from creeping back.  Two checks, in ``core/`` modules only:
+
+    * ``np.diff(...)`` over an ``xadj``-ish operand — use
+      ``graph.degrees()``;
+    * ``np.repeat(...)`` whose repeat-count operand is a degree array
+      (a ``degrees()``/``np.diff(xadj)`` call or a ``degree``-named
+      variable) — use ``graph.edge_sources()``.
+
+    Pre-construction code (``graph/validate.py`` runs before a CSRGraph
+    exists) and the operator packages, which hold their own caches, are
+    out of scope.
+    """
+
+    id = "RP011"
+    name = "cached-expansion"
+    summary = "np.diff(xadj)/np.repeat degree expansion rebuilt in core/"
+
+    def _xadjish(self, node) -> bool:
+        """Whether ``node`` mentions an ``xadj`` array."""
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name) and "xadj" in inner.id:
+                return True
+            if isinstance(inner, ast.Attribute) and "xadj" in inner.attr:
+                return True
+        return False
+
+    def _degreeish(self, node) -> bool:
+        """Whether ``node`` reads like a per-vertex degree array."""
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name) and "degree" in inner.id.lower():
+                return True
+            if isinstance(inner, ast.Attribute) and "degree" in inner.attr.lower():
+                return True
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "diff"
+                and inner.args
+                and self._xadjish(inner.args[0])
+            ):
+                return True
+        return False
+
+    def check(self, ctx):
+        if "core" not in ctx.parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if (
+                node.func.attr == "diff"
+                and node.args
+                and self._xadjish(node.args[0])
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    "np.diff over xadj rebuilds the degree array; use the "
+                    "cached graph.degrees() instead",
+                )
+            elif node.func.attr == "repeat":
+                operands = list(node.args) + [kw.value for kw in node.keywords]
+                if any(self._degreeish(arg) for arg in operands[1:]):
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        "np.repeat over a degree array rebuilds the edge-"
+                        "source expansion; use the cached "
+                        "graph.edge_sources() instead",
+                    )
+
+
 #: The full rule set, in id order.
 RULES = (
     SeededRandomRule,
@@ -644,6 +729,7 @@ RULES = (
     PaperSectionRule,
     FallbackRecordRule,
     ObsHygieneRule,
+    CachedExpansionRule,
 )
 
 

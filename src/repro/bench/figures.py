@@ -19,9 +19,8 @@ import time
 
 import numpy as np
 
-from repro.bench.harness import Row, bench_seed
+from repro.bench.harness import Row, bench_options, bench_seed
 from repro.core import partition
-from repro.core.options import DEFAULT_OPTIONS
 from repro.matrices import suite
 from repro.ordering import factor_stats, mlnd_ordering, mmd_ordering, snd_ordering
 from repro.spectral.chaco_ml import chaco_ml_partition
@@ -32,8 +31,8 @@ from repro.utils.errors import ConfigurationError
 DEFAULT_NPARTS = (16, 32, 64)
 
 
-def _ml_cut(graph, nparts, seed):
-    result = partition(graph, nparts, DEFAULT_OPTIONS, np.random.default_rng(seed))
+def _ml_cut(graph, nparts, seed, options):
+    result = partition(graph, nparts, options, np.random.default_rng(seed))
     return result
 
 
@@ -50,15 +49,16 @@ def cut_ratio_rows(
     ``baseline`` is ``"msb"``, ``"msb-kl"`` or ``"chaco-ml"``.
     """
     seed = bench_seed() if seed is None else seed
+    options = bench_options()
     runners = {
         "msb": lambda g, k, s: msb_partition(
-            g, k, DEFAULT_OPTIONS, np.random.default_rng(s)
+            g, k, options, np.random.default_rng(s)
         ),
         "msb-kl": lambda g, k, s: msb_partition(
-            g, k, DEFAULT_OPTIONS, np.random.default_rng(s), kl_refine=True
+            g, k, options, np.random.default_rng(s), kl_refine=True
         ),
         "chaco-ml": lambda g, k, s: chaco_ml_partition(
-            g, k, DEFAULT_OPTIONS, np.random.default_rng(s)
+            g, k, options, np.random.default_rng(s)
         ),
     }
     if baseline not in runners:
@@ -71,7 +71,7 @@ def cut_ratio_rows(
         values = {}
         for nparts in nparts_list:
             t0 = time.perf_counter()
-            ours = _ml_cut(graph, nparts, seed)
+            ours = _ml_cut(graph, nparts, seed, options)
             t_ours = time.perf_counter() - t0
             t0 = time.perf_counter()
             theirs = run_baseline(graph, nparts, seed)
@@ -99,24 +99,25 @@ def runtime_rows(
     ``nparts=64`` is the scaled analogue of the paper's 256-way runs.
     """
     seed = bench_seed() if seed is None else seed
+    options = bench_options()
     rows = []
     for name in matrices:
         graph = suite.load(name, scale=scale, seed=0)
         t0 = time.perf_counter()
-        partition(graph, nparts, DEFAULT_OPTIONS, np.random.default_rng(seed))
+        partition(graph, nparts, options, np.random.default_rng(seed))
         t_ml = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        chaco_ml_partition(graph, nparts, DEFAULT_OPTIONS, np.random.default_rng(seed))
+        chaco_ml_partition(graph, nparts, options, np.random.default_rng(seed))
         t_chaco = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        msb_partition(graph, nparts, DEFAULT_OPTIONS, np.random.default_rng(seed))
+        msb_partition(graph, nparts, options, np.random.default_rng(seed))
         t_msb = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         msb_partition(
-            graph, nparts, DEFAULT_OPTIONS, np.random.default_rng(seed), kl_refine=True
+            graph, nparts, options, np.random.default_rng(seed), kl_refine=True
         )
         t_msbkl = time.perf_counter() - t0
 
@@ -142,13 +143,14 @@ def ordering_rows(matrices, *, scale=1.0, seed=None) -> list[Row]:
     elimination-tree available parallelism for each ordering.
     """
     seed = bench_seed() if seed is None else seed
+    options = bench_options()
     rows = []
     for name in matrices:
         graph = suite.load(name, scale=scale, seed=0)
         rng = np.random.default_rng(seed)
 
         t0 = time.perf_counter()
-        nd = mlnd_ordering(graph, DEFAULT_OPTIONS, rng)
+        nd = mlnd_ordering(graph, options, rng)
         t_nd = time.perf_counter() - t0
         s_nd = factor_stats(graph, nd.perm)
 
@@ -158,7 +160,7 @@ def ordering_rows(matrices, *, scale=1.0, seed=None) -> list[Row]:
         s_md = factor_stats(graph, md.perm)
 
         t0 = time.perf_counter()
-        sd = snd_ordering(graph, DEFAULT_OPTIONS, np.random.default_rng(seed))
+        sd = snd_ordering(graph, options, np.random.default_rng(seed))
         t_sd = time.perf_counter() - t0
         s_sd = factor_stats(graph, sd.perm)
 

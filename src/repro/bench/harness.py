@@ -19,6 +19,18 @@ knobs the pytest benchmarks honour:
     Optional per-partition wall-clock budget in seconds (unset = no
     deadline); exercises the deadline-degraded paths of
     docs/RESILIENCE.md under benchmark load.
+``REPRO_BENCH_IMPL``
+    Matching kernel for every experiment: ``loop`` (the paper's
+    sequential scan, default) or ``vectorized`` (batched proposal
+    rounds, docs/PERFORMANCE.md).  The CI perf-smoke leg runs the same
+    table under both values and gates on ``repro bench-diff``.
+``REPRO_BENCH_WORKERS``
+    Process count for parallel recursive bisection (default 1 =
+    sequential; bit-identical results either way).
+
+All ``REPRO_BENCH_*`` variables are recorded in every ``BENCH_*.json``
+payload's env block (see :func:`repro.obs.export.bench_env`), so a
+snapshot always says which kernel and worker count produced it.
 """
 
 from __future__ import annotations
@@ -50,6 +62,26 @@ def bench_deadline() -> float | None:
     """Per-partition wall-clock budget from ``REPRO_BENCH_DEADLINE``."""
     raw = os.environ.get("REPRO_BENCH_DEADLINE", "")
     return float(raw) if raw else None
+
+
+def bench_options(base=None):
+    """Experiment options with the env-selected kernel and worker count.
+
+    Starts from ``base`` (default: :data:`~repro.core.options.DEFAULT_OPTIONS`)
+    and applies ``REPRO_BENCH_IMPL`` / ``REPRO_BENCH_WORKERS`` when set,
+    so every bench driver runs the configuration the CI perf-smoke leg
+    (or a local A/B run) asked for.
+    """
+    from repro.core.options import DEFAULT_OPTIONS
+
+    options = base if base is not None else DEFAULT_OPTIONS
+    impl = os.environ.get("REPRO_BENCH_IMPL", "")
+    if impl:
+        options = options.with_(matching_impl=impl)
+    raw_workers = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if raw_workers:
+        options = options.with_(workers=int(raw_workers))
+    return options
 
 
 def bench_matrices(default: list[str], full: list[str]) -> list[str]:

@@ -10,7 +10,9 @@ Subcommands mirror what the METIS binaries of the era offered:
 * ``info GRAPH`` — print basic statistics of a graph file;
 * ``lint [PATHS]`` — run the repo's AST lint pass (see docs/ANALYSIS.md);
 * ``trace FILE`` — pretty-print the profile of a JSONL trace written with
-  ``--trace`` / ``REPRO_TRACE`` (see docs/OBSERVABILITY.md).
+  ``--trace`` / ``REPRO_TRACE`` (see docs/OBSERVABILITY.md);
+* ``bench-diff OLD NEW`` — compare two ``BENCH_<table>.json`` snapshots
+  and flag per-cell regressions (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -68,6 +70,27 @@ def _add_common_options(p):
             "it with 'repro trace FILE' (see docs/OBSERVABILITY.md)"
         ),
     )
+    p.add_argument(
+        "--matching-impl",
+        default="loop",
+        choices=["loop", "vectorized"],
+        help=(
+            "matching kernel: 'loop' reproduces the paper's sequential "
+            "scan, 'vectorized' runs the batched proposal rounds "
+            "(see docs/PERFORMANCE.md)"
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan independent recursion branches across N processes "
+            "(bit-identical to N=1; overrides REPRO_WORKERS; see "
+            "docs/PERFORMANCE.md)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", action="store_true", help="list suite workloads")
 
     p = sub.add_parser(
-        "lint", help="run the repo lint pass (RP001-RP010, docs/ANALYSIS.md)"
+        "lint", help="run the repo lint pass (RP001-RP011, docs/ANALYSIS.md)"
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -133,6 +156,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true",
         help="print the aggregated profile as JSON instead of text",
+    )
+
+    p = sub.add_parser(
+        "bench-diff",
+        help=(
+            "compare two BENCH_<table>.json snapshots (files or "
+            "directories) and report per-cell regressions"
+        ),
+    )
+    p.add_argument("old", help="baseline snapshot: BENCH_*.json file or directory")
+    p.add_argument("new", help="candidate snapshot: BENCH_*.json file or directory")
+    p.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="exit non-zero when any time/quality cell regressed",
+    )
+    p.add_argument(
+        "--time-tol", type=float, default=None, metavar="FRAC",
+        help="relative tolerance for time-like columns (default 0.25)",
+    )
+    p.add_argument(
+        "--cut-tol", type=float, default=None, metavar="FRAC",
+        help="relative tolerance for quality columns (default 0.05)",
+    )
+    p.add_argument(
+        "--min-time", type=float, default=None, metavar="SECONDS",
+        help="ignore time cells below this on both sides (default 0.05)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="also list non-regressed cells",
     )
     return parser
 
@@ -153,6 +206,8 @@ def main(argv=None) -> int:
         return run_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench-diff":
+        return _cmd_bench_diff(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -167,6 +222,8 @@ def _options_from(args):
         deadline=args.deadline,
         max_init_retries=args.max_retries,
         trace=args.trace,
+        matching_impl=args.matching_impl,
+        workers=args.workers,
     )
 
 
@@ -255,6 +312,28 @@ def _cmd_trace(args) -> int:
         print(json.dumps(prof, indent=2, sort_keys=True))
     else:
         print(format_profile(prof))
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.bench import regress
+    from repro.utils.errors import ConfigurationError
+
+    kwargs = {}
+    if args.time_tol is not None:
+        kwargs["time_tol"] = args.time_tol
+    if args.cut_tol is not None:
+        kwargs["cut_tol"] = args.cut_tol
+    if args.min_time is not None:
+        kwargs["min_time"] = args.min_time
+    try:
+        report = regress.diff_paths(args.old, args.new, **kwargs)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(regress.format_report(report, verbose=args.verbose))
+    if args.fail_on_regress and not report.ok:
+        return 1
     return 0
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.analysis.sanitize import sanitizer
 from repro.core.matching import compute_matching, matching_stats
 from repro.core.options import DEFAULT_OPTIONS, MatchingScheme
+from repro.obs.tracer import NULL_SPAN
 from repro.graph.contract import (
     coarse_map_from_matching,
     collapsed_edge_weight,
@@ -120,7 +121,21 @@ def coarsen(
                     level=level,
                 )
             break
-        match = compute_matching(current, options.matching, rng, cewgt)
+        with (
+            span.child(
+                "coarsen.match",
+                level=level,
+                nvtxs=current.nvtxs,
+                scheme=MatchingScheme(options.matching).value,
+                impl=options.matching_impl,
+            )
+            if span
+            else NULL_SPAN
+        ):
+            match = compute_matching(
+                current, options.matching, rng, cewgt,
+                impl=options.matching_impl,
+            )
         if san:
             san.check_matching(current, match, level=level)
         cmap, ncoarse = coarse_map_from_matching(match)

@@ -27,10 +27,12 @@ def external_internal_degrees(graph, where):
     """Vectorised ``(ed, id)`` arrays for the bisection ``where``.
 
     O(m); called once per refinement pass, after which the pass maintains
-    the arrays incrementally as vertices move.
+    the arrays incrementally as vertices move.  The CSR source expansion
+    comes from the graph's cached :meth:`~repro.graph.csr.CSRGraph.edge_sources`
+    — built once per graph, not once per call.
     """
     where = np.asarray(where)
-    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     cross = where[src] != where[graph.adjncy]
     w = graph.adjwgt
     ed = np.bincount(src, weights=np.where(cross, w, 0), minlength=graph.nvtxs)

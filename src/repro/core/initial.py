@@ -90,9 +90,7 @@ def gggp_bisection(graph, target0=None, rng=None, trials=5) -> Bisection:
     # vertices), so a dense argmax over the frontier beats heap upkeep.
     # Accumulate in int64 (bincount's float64 weights round past 2**53).
     wdeg = np.zeros(n, dtype=np.int64)
-    np.add.at(
-        wdeg, np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj)), adjwgt
-    )
+    np.add.at(wdeg, graph.edge_sources(), adjwgt)
     neg_inf = np.iinfo(np.int64).min
 
     best = None

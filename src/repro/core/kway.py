@@ -8,8 +8,15 @@ METIS uses.
 
 The recursion extracts induced subgraphs (boundary edges between already
 separated parts can never be un-cut, so dropping them is exact) and gives
-each subproblem an independent RNG stream, making the result invariant to
-evaluation order.
+each subproblem an independent RNG stream, *pre-spawned before either side
+runs*, making the result invariant to evaluation order — including
+evaluation in other processes: with ``options.workers`` (or
+``REPRO_WORKERS``) above 1, the independent branches at the top of the
+recursion tree are fanned across a ``ProcessPoolExecutor`` and the
+partition vector is bit-identical to the sequential run.  Parallel fan-out
+engages only on the clean path (no tracer, fault injector, deadline guard
+or bisector override — those carry process-local state); other
+configurations run sequentially with identical results.
 """
 
 from __future__ import annotations
@@ -21,7 +28,14 @@ from repro.core.multilevel import bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import extract_subgraph
 from repro.graph.partition import KWayPartition, edge_cut, part_weights
+from repro.obs.tracer import NULL as NULL_TRACER
 from repro.obs.tracer import resolve_tracer
+from repro.perf.workers import (
+    BranchDispatch,
+    branch_executor,
+    fan_depth_for,
+    resolve_workers,
+)
 from repro.resilience.deadline import DeadlineGuard
 from repro.resilience.faults import fault_injector
 from repro.resilience.report import ResilienceReport
@@ -90,12 +104,40 @@ def partition(
         None, options, run="partition",
         nvtxs=graph.nvtxs, nedges=graph.nedges, nparts=nparts,
     )
+    # Parallel fan-out is restricted to the clean path: a tracer's sink, an
+    # injector's countdowns, a deadline guard's clock and a caller-supplied
+    # bisector closure are all process-local state that cannot be shipped
+    # to (or merged back from) pool workers.  The RNG tree is identical
+    # either way, so sequential and parallel runs are bit-identical.
+    workers = resolve_workers(options)
+    parallel = (
+        workers > 1
+        and nparts > 1
+        and bisector is None
+        and guard is None
+        and not faults
+        and not trc
+    )
     try:
         with trc.span("partition", nparts=nparts) as root:
-            _recurse(graph, nparts, 0, where,
-                     np.arange(graph.nvtxs, dtype=np.int64),
-                     options, rng, timers, bisector, faults, report, guard,
-                     trc)
+            vmap = np.arange(graph.nvtxs, dtype=np.int64)
+            if parallel:
+                with branch_executor(workers) as pool:
+                    par = BranchDispatch(pool, fan_depth_for(workers))
+                    _recurse(graph, nparts, 0, where, vmap,
+                             options, rng, timers, bisector, faults, report,
+                             guard, trc, par=par)
+                    for meta, branch in par.drain():
+                        first_part, branch_vmap = meta
+                        sub_where, totals, sub_report = branch
+                        where[branch_vmap] = first_part + sub_where
+                        for phase_name, seconds in totals.items():
+                            timers.add(phase_name, seconds)
+                        report.merge(sub_report)
+            else:
+                _recurse(graph, nparts, 0, where, vmap,
+                         options, rng, timers, bisector, faults, report,
+                         guard, trc)
             result = KWayPartition(
                 where=where,
                 nparts=nparts,
@@ -121,12 +163,33 @@ def _assign_by_weight(graph, k) -> np.ndarray:
     return np.minimum(part, k - 1).astype(np.int32)
 
 
+def _branch_job(graph, k, options, rng):
+    """Partition one recursion branch in a pool worker.
+
+    Runs the same ``_recurse`` with branch-local accumulators (parts are
+    numbered from 0; the parent offsets them when merging) and returns
+    everything the parent must fold back: the branch partition vector, the
+    phase-timer totals and the resilience events.  Only reached on the
+    clean path, so the injector resolves to the null object, there is no
+    guard, and tracing is off.
+    """
+    where = np.zeros(graph.nvtxs, dtype=np.int32)
+    timers = PhaseTimer()
+    report = ResilienceReport()
+    _recurse(graph, k, 0, where, np.arange(graph.nvtxs, dtype=np.int64),
+             options, rng, timers, None, fault_injector(options), report,
+             None, NULL_TRACER)
+    return where, timers.totals(), report
+
+
 def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
-             faults, report, guard, trc=None):
+             faults, report, guard, trc=NULL_TRACER, *, par=None, depth=0):
     """Assign parts ``first_part .. first_part+k-1`` to ``graph``'s vertices.
 
     ``vmap`` maps this subgraph's vertices to the original graph; ``where``
-    is the original-graph partition vector being filled in.
+    is the original-graph partition vector being filled in.  ``par`` (a
+    :class:`~repro.perf.workers.BranchDispatch`) ships whole subtrees at
+    ``depth >= par.fan_depth`` to pool workers instead of recursing.
     """
     if k == 1:
         where[vmap] = first_part
@@ -134,6 +197,10 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
     if k == graph.nvtxs:
         # One vertex per part; no bisection needed (k = n base case).
         where[vmap] = first_part + np.arange(k, dtype=np.int32)
+        return
+    if par is not None and depth >= par.fan_depth:
+        par.submit(_branch_job, graph, k, options, rng,
+                   meta=(first_part, vmap))
         return
     if guard is not None and guard.expired():
         # Budget gone: finish this whole subtree with the cheap assignment.
@@ -148,7 +215,12 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
     k_left = (k + 1) // 2
     target0 = (graph.total_vwgt() * k_left) // k
 
+    # Pre-spawn every stream this node will use *before* any of them runs:
+    # each branch owns an independent generator, so the two sides may be
+    # evaluated in any order — or in other processes — bit-identically.
     child_rng = spawn_child(rng)
+    rng_left = spawn_child(rng)
+    rng_right = spawn_child(rng)
     try:
         if bisector is None:
             result = bisect(graph, options, child_rng, target0=target0,
@@ -163,7 +235,7 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
                     "kway",
                     f"bisector failed ({exc}); multilevel bisection fallback",
                 )
-                result = bisect(graph, options, spawn_child(rng),
+                result = bisect(graph, options, spawn_child(child_rng),
                                 target0=target0, faults=faults, report=report,
                                 guard=guard, tracer=trc)
         timers.merge(result.timers)
@@ -200,7 +272,13 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
 
     sub_left, _ = extract_subgraph(graph, left)
     sub_right, _ = extract_subgraph(graph, right)
-    _recurse(sub_left, k_left, first_part, where, vmap[left],
-             options, rng, timers, bisector, faults, report, guard, trc)
-    _recurse(sub_right, k - k_left, first_part + k_left, where, vmap[right],
-             options, rng, timers, bisector, faults, report, guard, trc)
+    with trc.span("kway.branch", side=0, k=k_left, nvtxs=len(left),
+                  depth=depth):
+        _recurse(sub_left, k_left, first_part, where, vmap[left],
+                 options, rng_left, timers, bisector, faults, report, guard,
+                 trc, par=par, depth=depth + 1)
+    with trc.span("kway.branch", side=1, k=k - k_left, nvtxs=len(right),
+                  depth=depth):
+        _recurse(sub_right, k - k_left, first_part + k_left, where,
+                 vmap[right], options, rng_right, timers, bisector, faults,
+                 report, guard, trc, par=par, depth=depth + 1)

@@ -143,9 +143,26 @@ _SCHEMES = {
 }
 
 
-def compute_matching(graph, scheme, rng=None, cewgt=None) -> np.ndarray:
-    """Dispatch to the matching scheme named by ``scheme``."""
+def compute_matching(graph, scheme, rng=None, cewgt=None, impl="loop") -> np.ndarray:
+    """Dispatch to the matching scheme named by ``scheme``.
+
+    ``impl`` selects the kernel: ``"loop"`` is the per-vertex visitation
+    loop above (bit-exact with the paper's published runs); ``"vectorized"``
+    is the batched proposal-round kernel of
+    :mod:`repro.perf.matching_vec` — same scheme semantics and the same
+    validity/maximality guarantees, different deterministic tie-breaking.
+    """
     scheme = MatchingScheme(scheme)
+    if impl == "vectorized":
+        from repro.perf.matching_vec import vectorized_matching
+
+        return vectorized_matching(graph, scheme, rng, cewgt)
+    if impl != "loop":
+        from repro.utils.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown matching impl {impl!r}; expected 'loop' or 'vectorized'"
+        )
     if scheme is MatchingScheme.HCM:
         return hcm_matching(graph, rng, cewgt)
     return _SCHEMES[scheme](graph, rng)
@@ -167,7 +184,7 @@ def matching_stats(graph, match) -> dict:
         return {"matched_frac": 0.0, "matched_weight": 0, "heavy_share": 0.0}
     arange = np.arange(n, dtype=np.int64)
     match = np.where(match < 0, arange, match)
-    src = np.repeat(arange, np.diff(graph.xadj))
+    src = graph.edge_sources()
     pair = (match[src] == graph.adjncy) & (src < graph.adjncy)
     matched_weight = int(graph.adjwgt[pair].sum())
     total = int(graph.adjwgt.sum()) // 2
@@ -197,8 +214,6 @@ def is_maximal_matching(graph, match) -> bool:
     """Check maximality: no edge joins two unmatched vertices."""
     match = np.asarray(match)
     unmatched = match == np.arange(graph.nvtxs)
-    src = np.repeat(
-        np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj)
-    )
+    src = graph.edge_sources()
     both_free = unmatched[src] & unmatched[graph.adjncy]
     return not bool(both_free.any())

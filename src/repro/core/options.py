@@ -89,6 +89,21 @@ class MultilevelOptions:
     gain_table:
         ``"heap"`` (lazy binary heap, default) or ``"bucket"`` (the
         classical FM bucket array — O(1) operations, gain-range memory).
+    matching_impl:
+        Matching-kernel implementation: ``"loop"`` (default) is the
+        per-vertex visitation loop that reproduces the paper's published
+        runs bit-for-bit; ``"vectorized"`` is the batched proposal-round
+        kernel in :mod:`repro.perf.matching_vec` — same schemes, same
+        validity/maximality guarantees, different (still deterministic)
+        tie-breaking, and several times faster on large graphs.
+    workers:
+        Process count for fanning the independent subgraph branches of
+        recursive bisection (:func:`repro.core.kway.partition`) and MLND
+        nested dissection across a ``ProcessPoolExecutor``.  Per-branch
+        child RNGs are pre-seeded so ``workers=N`` is bit-identical to
+        ``workers=1``.  ``None`` (the default) defers to the
+        ``REPRO_WORKERS`` environment variable; when that is also unset,
+        everything runs in-process.
     seed:
         Default RNG seed used when the caller does not supply one.
     sanitize:
@@ -137,6 +152,8 @@ class MultilevelOptions:
     bklgr_boundary_fraction: float = 0.02
     eager_gains: bool = False
     gain_table: str = "heap"
+    matching_impl: str = "loop"
+    workers: int | None = None
     seed: int = 4242
     sanitize: bool = False
     faults: str | None = None
@@ -161,6 +178,12 @@ class MultilevelOptions:
             raise ConfigurationError("trial counts must be positive")
         if self.gain_table not in ("heap", "bucket"):
             raise ConfigurationError("gain_table must be 'heap' or 'bucket'")
+        if self.matching_impl not in ("loop", "vectorized"):
+            raise ConfigurationError(
+                "matching_impl must be 'loop' or 'vectorized'"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError("workers must be >= 1 when set")
         if self.deadline is not None and self.deadline <= 0:
             raise ConfigurationError("deadline must be positive when set")
         if self.max_init_retries < 0:

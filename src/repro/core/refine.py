@@ -253,19 +253,31 @@ def fm_pass(
         was_interior = ed[nbrs] == 0
         ed[nbrs] += delta
         id_[nbrs] -= delta
+        # The gain/side/degree lookups for the touched neighbours are done
+        # as single fancy-indexing gathers (one NumPy call each) instead of
+        # per-vertex scalar indexing; only the unavoidable per-entry heap
+        # pushes remain as Python-level iteration, over plain ints.
         if eager:
-            for u in nbrs[~locked[nbrs]]:
-                u = int(u)
-                table_u = tables[where[u]]
-                if u in table_u:
-                    table_u.update(u, int(ed[u] - id_[u]))
-                elif not boundary_only or ed[u] > 0:
-                    table_u.push(u, int(ed[u] - id_[u]))
+            active = nbrs[~locked[nbrs]]
+            if len(active):
+                gains_a = (ed[active] - id_[active]).tolist()
+                eds_a = ed[active].tolist()
+                sides_a = where_arr[active].tolist()
+                for u, s_u, g_u, e_u in zip(
+                    active.tolist(), sides_a, gains_a, eds_a
+                ):
+                    table_u = tables[s_u]
+                    if u in table_u:
+                        table_u.update(u, g_u)
+                    elif not boundary_only or e_u > 0:
+                        table_u.push(u, g_u)
         elif boundary_only:
             fresh = nbrs[was_interior & (delta > 0) & ~locked[nbrs]]
-            for u in fresh:
-                u = int(u)
-                tables[where[u]].push(u, int(ed[u] - id_[u]))
+            if len(fresh):
+                gains_f = (ed[fresh] - id_[fresh]).tolist()
+                sides_f = where_arr[fresh].tolist()
+                for u, s_u, g_u in zip(fresh.tolist(), sides_f, gains_f):
+                    tables[s_u].push(u, g_u)
 
         key = _balance_key(pwgts, maxpwgt, cut)
         if key < best_key:

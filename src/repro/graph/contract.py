@@ -60,7 +60,7 @@ def contract(graph, cmap, ncoarse) -> CSRGraph:
     """
     n = graph.nvtxs
     cmap = np.asarray(cmap, dtype=np.int64)
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     cu = cmap[src]
     cv = cmap[graph.adjncy]
     keep = cu != cv  # drop collapsed (intra-multinode) edges
@@ -137,7 +137,7 @@ def collapsed_edge_weight(graph, cmap, ncoarse, cewgt=None) -> np.ndarray:
     n = graph.nvtxs
     if cewgt is None:
         cewgt = np.zeros(n, dtype=np.int64)
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     cu = cmap[src]
     internal = cu == cmap[graph.adjncy]
     # Each collapsed undirected edge appears twice in the directed arrays.

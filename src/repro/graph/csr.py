@@ -50,7 +50,7 @@ class CSRGraph:
         contraction kernel) pass ``False`` to skip the O(m log m) check.
     """
 
-    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "_coords")
+    __slots__ = ("xadj", "adjncy", "adjwgt", "vwgt", "_coords", "_degrees", "_src")
 
     def __init__(self, xadj, adjncy, adjwgt=None, vwgt=None, *, validate=True):
         xadj = np.ascontiguousarray(xadj, dtype=np.int64)
@@ -69,6 +69,8 @@ class CSRGraph:
         self.adjwgt = adjwgt
         self.vwgt = vwgt
         self._coords = None  # optional vertex coordinates (geometric methods)
+        self._degrees = None  # cached np.diff(xadj); see degrees()
+        self._src = None  # cached edge-source expansion; see edge_sources()
         if validate:
             from repro.graph.validate import validate_graph
 
@@ -114,8 +116,29 @@ class CSRGraph:
         return int(self.xadj[v + 1] - self.xadj[v])
 
     def degrees(self) -> np.ndarray:
-        """All vertex degrees as an int64 array."""
-        return np.diff(self.xadj)
+        """All vertex degrees as an int64 array (cached; do not mutate).
+
+        Built once per graph: CSR arrays are immutable by convention
+        (lint rule RP002), so the derived array can never go stale.
+        """
+        if self._degrees is None:
+            self._degrees = np.diff(self.xadj)
+        return self._degrees
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every directed adjacency entry (cached).
+
+        ``edge_sources()[e]`` is the vertex whose adjacency list holds slot
+        ``e``, i.e. the CSR expansion ``np.repeat(arange(n), degrees)``.
+        Hot paths (gain seeding, cut evaluation, contraction) index this
+        array instead of rebuilding the O(m) expansion per call.  Treat as
+        read-only, like the CSR arrays themselves.
+        """
+        if self._src is None:
+            self._src = np.repeat(
+                np.arange(self.nvtxs, dtype=np.int64), self.degrees()
+            )
+        return self._src
 
     def neighbors(self, v: int) -> np.ndarray:
         """View of vertex ``v``'s adjacency list (do not mutate)."""
@@ -166,8 +189,7 @@ class CSRGraph:
 
         Vectorised counterpart of :meth:`edges`; used by writers and tests.
         """
-        n = self.nvtxs
-        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.xadj))
+        src = self.edge_sources()
         dst = self.adjncy.astype(np.int64)
         mask = src < dst
         out = np.column_stack([src[mask], dst[mask], self.adjwgt[mask]])

@@ -31,7 +31,7 @@ from repro.graph.partition import part_weights
 def _directed_cross(graph, where):
     """(src, dst) arrays of directed edges crossing the partition."""
     where = np.asarray(where)
-    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     dst = graph.adjncy.astype(np.int64)
     mask = where[src] != where[dst]
     return src[mask], dst[mask], where

@@ -22,7 +22,7 @@ def edge_cut(graph, where) -> int:
     a part id.  Works for any number of parts.  O(m), fully vectorised.
     """
     where = np.asarray(where)
-    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     crossing = where[src] != where[graph.adjncy]
     # Each undirected crossing edge is seen from both endpoints.
     return int(graph.adjwgt[crossing].sum()) // 2
@@ -64,7 +64,7 @@ def boundary_mask(graph, where) -> np.ndarray:
     definition §3.3 of the paper uses for the boundary refinement variants.
     """
     where = np.asarray(where)
-    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     crossing = where[src] != where[graph.adjncy]
     mask = np.zeros(graph.nvtxs, dtype=bool)
     mask[src[crossing]] = True

@@ -29,7 +29,7 @@ def permute_graph(graph, perm):
     iperm = np.empty(n, dtype=np.int64)
     iperm[perm] = np.arange(n)
 
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     new_u = iperm[src]
     new_v = iperm[graph.adjncy]
     out = _from_directed_triples(

@@ -13,6 +13,7 @@ so results are bit-identical and the FM hot loop carries zero overhead.
 
 from repro.obs.export import (
     BENCH_SCHEMA,
+    SPAN_PHASES,
     bench_env,
     bench_payload,
     format_profile,
@@ -61,6 +62,7 @@ __all__ = [
     "read_trace",
     "profile",
     "format_profile",
+    "SPAN_PHASES",
     "BENCH_SCHEMA",
     "bench_env",
     "bench_payload",

@@ -27,6 +27,7 @@ __all__ = [
     "read_trace",
     "profile",
     "format_profile",
+    "SPAN_PHASES",
     "BENCH_SCHEMA",
     "bench_env",
     "bench_payload",
@@ -44,6 +45,33 @@ def read_trace(path) -> list[dict]:
         return validate_trace_lines(fh)
 
 
+#: Phase affiliation for spans that carry no ``fields.phase`` tag.  Nested
+#: kernel spans (``coarsen.match``) are deliberately *not* phase-tagged —
+#: tagging them would double-count their wall-clock inside the already
+#: phase-tagged parent span in ``phases`` — and driver-level recursion
+#: spans (``partition`` / ``dissect`` / ``kway.branch``) enclose whole
+#: subtrees.  The rollup buckets both kinds by this table instead of
+#: dumping them in "other".
+SPAN_PHASES = {
+    "coarsen.match": "CTime",
+    "kway-refine": "RTime",
+    "kway.branch": "driver",
+    "partition": "driver",
+    "dissect": "driver",
+}
+
+#: Rollup bucket order: the paper's phase keys, then driver, then other.
+ROLLUP_BUCKETS = (*PHASE_KEYS, "driver", "other")
+
+
+def _rollup_bucket(name: str, fields: dict) -> str:
+    """Which rollup bucket a span belongs to."""
+    phase = fields.get("phase")
+    if phase in PHASE_KEYS:
+        return phase
+    return SPAN_PHASES.get(name, "other")
+
+
 def profile(records) -> dict:
     """Aggregate trace records into a run profile.
 
@@ -53,12 +81,24 @@ def profile(records) -> dict:
     * ``phases`` — summed span durations per CTime/ITime/RTime/PTime tag
       (a span contributes to the phase named by its ``fields.phase``);
     * ``spans`` — per span name: ``count`` and ``total`` seconds;
+    * ``rollup`` — spans grouped by phase affiliation: ``fields.phase``
+      when tagged, else the :data:`SPAN_PHASES` table (this is what puts
+      the nested ``coarsen.match`` kernel under CTime and the recursion
+      spans under "driver" instead of "other").  Per bucket: ``total``,
+      ``count`` and a per-span-name ``spans`` breakdown.  Nested spans
+      appear under their own name *and* inside their parent's duration,
+      so rollup buckets overlap with ``phases`` by design — ``phases``
+      stays the reconciliation against ``result.timers``;
     * ``events`` — per event name: occurrence count;
     * ``counters`` — summed counter values across all counters records.
     """
     runs: list[dict] = []
     phases = {key: 0.0 for key in PHASE_KEYS}
     spans: dict[str, dict] = {}
+    rollup = {
+        bucket: {"total": 0.0, "count": 0, "spans": {}}
+        for bucket in ROLLUP_BUCKETS
+    }
     events: dict[str, int] = {}
     counters: dict[str, float] = {}
     for record in records:
@@ -67,12 +107,18 @@ def profile(records) -> dict:
             runs.append(record)
         elif kind == "span":
             name = record["name"]
+            dur = float(record["dur"])
             agg = spans.setdefault(name, {"count": 0, "total": 0.0})
             agg["count"] += 1
-            agg["total"] += float(record["dur"])
-            phase = record.get("fields", {}).get("phase")
+            agg["total"] += dur
+            fields = record.get("fields", {})
+            phase = fields.get("phase")
             if phase in phases:
-                phases[phase] += float(record["dur"])
+                phases[phase] += dur
+            bucket = rollup[_rollup_bucket(name, fields)]
+            bucket["total"] += dur
+            bucket["count"] += 1
+            bucket["spans"][name] = bucket["spans"].get(name, 0.0) + dur
         elif kind == "event":
             events[record["name"]] = events.get(record["name"], 0) + 1
         elif kind == "counters":
@@ -82,6 +128,7 @@ def profile(records) -> dict:
         "runs": runs,
         "phases": phases,
         "spans": spans,
+        "rollup": rollup,
         "events": events,
         "counters": counters,
     }
@@ -118,6 +165,22 @@ def format_profile(prof: dict) -> str:
                 f"  {name:18s} ×{agg['count']:<6d} total {agg['total']:9.4f}s"
                 f"  mean {mean * 1e3:8.3f}ms"
             )
+    rollup = prof.get("rollup") or {}
+    if any(bucket["count"] for bucket in rollup.values()):
+        lines.append("rollup (span time by phase affiliation):")
+        for key in ROLLUP_BUCKETS:
+            bucket = rollup.get(key)
+            if not bucket or not bucket["count"]:
+                continue
+            lines.append(
+                f"  {key}:  {bucket['total']:9.4f}s  ×{bucket['count']}"
+            )
+            for name in sorted(
+                bucket["spans"], key=bucket["spans"].get, reverse=True
+            ):
+                lines.append(
+                    f"    {name:18s} {bucket['spans'][name]:9.4f}s"
+                )
     if prof["events"]:
         lines.append("events:")
         for name in sorted(prof["events"]):

@@ -107,6 +107,17 @@ class Span:
         """Accumulate into the owning tracer's counters."""
         self.tracer.counter(name, inc)
 
+    def child(self, name: str, **fields):
+        """Open a nested kernel span (context manager) under this span.
+
+        Lets pipeline code holding only a phase span time an inner kernel
+        (``coarsen.match``, ``kway.branch``) without being handed the
+        tracer itself; the returned context manager must be entered, same
+        as ``Tracer.span``.
+        """
+        owner = self.tracer
+        return owner.span(name, **fields)
+
 
 class Tracer:
     """Span/event/counter recorder writing JSONL records to a sink.
@@ -247,6 +258,9 @@ class NullSpan:
 
     def counter(self, name: str, inc=1) -> None:
         pass
+
+    def child(self, name: str, **fields) -> "NullSpan":
+        return self
 
 
 #: Shared null span: also what ``NULL.span(...)`` returns, so phase

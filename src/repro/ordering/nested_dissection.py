@@ -20,16 +20,24 @@ of the recursion, numbering and leaf handling:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis.sanitize import sanitizer
 from repro.core.multilevel import bisect as ml_bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import connected_components, extract_subgraph
-from repro.obs.tracer import resolve_tracer
+from repro.obs.tracer import NULL_SPAN, resolve_tracer
 from repro.ordering.base import Ordering
 from repro.ordering.mmd import mmd_ordering
 from repro.ordering.vertex_cover import vertex_separator_from_bisection
+from repro.perf.workers import (
+    BranchDispatch,
+    branch_executor,
+    fan_depth_for,
+    resolve_workers,
+)
 from repro.resilience.deadline import DeadlineGuard
 from repro.resilience.faults import fault_injector
 from repro.resilience.report import ResilienceReport
@@ -69,15 +77,56 @@ def mlnd_ordering(
             guard=guard, tracer=trc,
         ).bisection.where
 
+    # MLND's bisector is reconstructible from picklable state (just the
+    # options), so its subtrees can run in pool workers — clean path only,
+    # same gating as k-way ``partition``.  Generic/SND dissections pass an
+    # arbitrary closure and always run sequentially.
+    branch_job = None
+    if (
+        resolve_workers(options) > 1
+        and not faults
+        and guard is None
+        and not trc
+    ):
+        branch_job = partial(
+            _mlnd_branch_job,
+            options=options,
+            leaf_size=leaf_size,
+            refine_separator=refine_separator,
+        )
+
     try:
         return nested_dissection_ordering(
             graph, bisector, rng, leaf_size=leaf_size, method="mlnd",
             refine_separator=refine_separator, options=options, report=report,
-            guard=guard, tracer=trc,
+            guard=guard, tracer=trc, branch_job=branch_job,
         )
     finally:
         if owned_trace:
             trc.close()
+
+
+def _mlnd_branch_job(sub, rng, *, options, leaf_size, refine_separator):
+    """Dissect one MLND subtree in a pool worker.
+
+    Rebuilds the multilevel bisector from ``options`` (only reached on the
+    clean path: injector off, no guard, tracing off) and returns the
+    subtree's local permutation plus its resilience events for the parent
+    to merge.
+    """
+    report = ResilienceReport()
+    faults = fault_injector(options)
+    san = sanitizer(options)
+
+    def bisector(subgraph, child_rng):
+        return ml_bisect(
+            subgraph, options, child_rng, faults=faults, report=report,
+        ).bisection.where
+
+    perm = np.empty(sub.nvtxs, dtype=np.int64)
+    _dissect(sub, bisector, rng, perm, leaf_size, refine_separator,
+             san, report, None, NULL_SPAN)
+    return perm, report
 
 
 def nested_dissection_ordering(
@@ -92,6 +141,7 @@ def nested_dissection_ordering(
     report=None,
     guard=None,
     tracer=None,
+    branch_job=None,
 ) -> Ordering:
     """Generic nested-dissection driver.
 
@@ -125,6 +175,12 @@ def nested_dissection_ordering(
         one ``dissect`` span carrying ``nd.separator`` / ``nd.fallback`` /
         ``nd.degraded`` events, with each sub-bisection's phase spans
         nested under it.
+    branch_job:
+        Optional *picklable* callable ``(subgraph, rng) → (perm, report)``
+        dissecting one subtree in a pool worker.  When provided and the
+        resolved worker count exceeds 1, the driver fans independent
+        subtrees across a ``ProcessPoolExecutor``; per-entry pre-spawned
+        RNGs make the permutation bit-identical to the sequential run.
 
     Returns
     -------
@@ -137,13 +193,28 @@ def nested_dissection_ordering(
     n = graph.nvtxs
     perm = np.empty(n, dtype=np.int64)
     trc, owned_trace = resolve_tracer(tracer, options, run=method, nvtxs=n)
+    workers = resolve_workers(options)
 
     try:
         with trc.span("dissect", method=method) as sp:
-            _dissect(
-                graph, bisector, rng, perm, leaf_size, refine_separator,
-                san, report, guard, sp,
-            )
+            if branch_job is not None and workers > 1:
+                with branch_executor(workers) as pool:
+                    par = BranchDispatch(pool, fan_depth_for(workers))
+                    _dissect(
+                        graph, bisector, rng, perm, leaf_size,
+                        refine_separator, san, report, guard, sp,
+                        par=par, branch_job=branch_job,
+                    )
+                    for meta, branch in par.drain():
+                        vmap, lo, hi = meta
+                        sub_perm, sub_report = branch
+                        perm[lo:hi] = vmap[sub_perm]
+                        report.merge(sub_report)
+            else:
+                _dissect(
+                    graph, bisector, rng, perm, leaf_size, refine_separator,
+                    san, report, guard, sp,
+                )
     finally:
         if owned_trace:
             trc.close()
@@ -154,25 +225,32 @@ def nested_dissection_ordering(
 
 
 def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
-             report, guard, sp):
+             report, guard, sp, *, par=None, branch_job=None):
     """The dissection loop of :func:`nested_dissection_ordering`.
 
     Fills ``perm`` in place; ``sp`` is the enclosing ``dissect`` span (or a
-    null span when tracing is off).
+    null span when tracing is off).  Every stack entry owns a dedicated
+    generator, spawned by its parent *before* any sibling runs, so the
+    result is invariant to processing order — which lets ``par`` ship
+    whole subtrees at ``depth >= par.fan_depth`` to pool workers via
+    ``branch_job`` without changing a bit of the permutation.
     """
     n = graph.nvtxs
-    # Explicit stack of (subgraph, vmap, lo, hi, depth) jobs; positions
-    # [lo, hi) belong to the subgraph.  Avoids Python recursion limits on
-    # deep dissections of path-like graphs.
-    stack = [(graph, np.arange(n, dtype=np.int64), 0, n, 0)]
+    # Explicit stack of (subgraph, vmap, lo, hi, depth, rng) jobs;
+    # positions [lo, hi) belong to the subgraph.  Avoids Python recursion
+    # limits on deep dissections of path-like graphs.
+    stack = [(graph, np.arange(n, dtype=np.int64), 0, n, 0, rng)]
     while stack:
-        sub, vmap, lo, hi, depth = stack.pop()
+        sub, vmap, lo, hi, depth, sub_rng = stack.pop()
         nv = sub.nvtxs
         if nv == 0:
             continue
         if nv <= leaf_size:
             leaf = mmd_ordering(sub)
             perm[lo:hi] = vmap[leaf.perm]
+            continue
+        if par is not None and depth >= par.fan_depth:
+            par.submit(branch_job, sub, sub_rng, meta=(vmap, lo, hi))
             continue
 
         comp = connected_components(sub)
@@ -183,7 +261,8 @@ def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
             for c in range(ncomp):
                 ids = np.flatnonzero(comp == c).astype(np.int64)
                 csub, _ = extract_subgraph(sub, ids)
-                stack.append((csub, vmap[ids], pos, pos + len(ids), depth))
+                stack.append((csub, vmap[ids], pos, pos + len(ids), depth,
+                              spawn_child(sub_rng)))
                 pos += len(ids)
             continue
 
@@ -204,8 +283,14 @@ def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
                 )
             continue
 
+        # Every stream this entry uses is spawned from its own generator in
+        # a fixed order, before any child runs.
+        rng_bisect = spawn_child(sub_rng)
+        rng_refine = spawn_child(sub_rng)
+        rng_a = spawn_child(sub_rng)
+        rng_b = spawn_child(sub_rng)
         try:
-            where = np.asarray(bisector(sub, spawn_child(rng)))
+            where = np.asarray(bisector(sub, rng_bisect))
         except SanitizerError:
             raise  # a broken invariant is a bug, not a recoverable fault
         except DeadlineExceededError:
@@ -253,7 +338,7 @@ def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
             where3 = build_labelling(sub, where, sep)
             cap = int(np.ceil(0.55 * sub.total_vwgt()))
             refine_vertex_separator(
-                sub, where3, spawn_child(rng), maxpwgt=(cap, cap)
+                sub, where3, rng_refine, maxpwgt=(cap, cap)
             )
             a_ids = np.flatnonzero(where3 == 0).astype(np.int64)
             b_ids = np.flatnonzero(where3 == 1).astype(np.int64)
@@ -300,5 +385,7 @@ def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
         perm[sep_lo:hi] = vmap[sep]
         a_sub, _ = extract_subgraph(sub, a_ids)
         b_sub, _ = extract_subgraph(sub, b_ids)
-        stack.append((a_sub, vmap[a_ids], lo, lo + len(a_ids), depth + 1))
-        stack.append((b_sub, vmap[b_ids], lo + len(a_ids), sep_lo, depth + 1))
+        stack.append((a_sub, vmap[a_ids], lo, lo + len(a_ids), depth + 1,
+                      rng_a))
+        stack.append((b_sub, vmap[b_ids], lo + len(a_ids), sep_lo, depth + 1,
+                      rng_b))

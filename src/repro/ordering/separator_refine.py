@@ -41,7 +41,7 @@ def separator_weight(graph, where3) -> int:
 def is_valid_separator_labelling(graph, where3) -> bool:
     """No edge may join side 0 to side 1."""
     where3 = np.asarray(where3)
-    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     a = where3[src]
     b = where3[graph.adjncy]
     bad = ((a == SIDE_A) & (b == SIDE_B)) | ((a == SIDE_B) & (b == SIDE_A))

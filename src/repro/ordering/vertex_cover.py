@@ -28,7 +28,7 @@ def boundary_bipartite(graph, where):
     ``a_vertices[i]``.
     """
     where = np.asarray(where)
-    src = np.repeat(np.arange(graph.nvtxs, dtype=np.int64), np.diff(graph.xadj))
+    src = graph.edge_sources()
     dst = graph.adjncy
     cross = (where[src] == 0) & (where[dst] == 1)
     a_raw = src[cross]

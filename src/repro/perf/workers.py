@@ -1,0 +1,118 @@
+"""Process-pool plumbing for parallel recursive bisection / dissection.
+
+The recursion trees of :func:`repro.core.kway.partition` and nested
+dissection split a graph into *independent* subgraphs: once the separator
+(or bisection) of a node is fixed, the two sides never exchange
+information.  The drivers therefore pre-spawn one child RNG per branch in
+a fixed order (see :func:`repro.utils.rng.spawn_child`) and may evaluate
+the branches in any order — or in other processes — without changing a
+single bit of the result.  This module holds the shared plumbing:
+
+* :func:`resolve_workers` — ``options.workers`` falling back to the
+  ``REPRO_WORKERS`` environment variable, defaulting to 1;
+* :func:`fan_depth_for` — how many top recursion levels to fan out so at
+  least ``workers`` independent branch jobs exist;
+* :func:`branch_executor` — a ``ProcessPoolExecutor`` on the cheapest
+  start method the platform offers;
+* :class:`BranchDispatch` — collects submitted branch futures so drivers
+  can merge child results (assignments, phase timers, resilience events)
+  in deterministic submission order.
+
+Parallel fan-out is only engaged on the *clean* path — no tracer, no
+fault injector, no deadline guard, no caller-supplied bisector closure —
+because those carry process-local state (an open trace sink, injector
+countdowns, unpicklable closures).  The drivers fall back to sequential
+execution in those configurations; results are identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.utils.errors import ConfigurationError
+
+#: Environment variable consulted when ``options.workers`` is unset.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(options=None) -> int:
+    """Effective worker count: option field, else ``REPRO_WORKERS``, else 1."""
+    if options is not None and getattr(options, "workers", None) is not None:
+        return int(options.workers)
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+    return workers
+
+
+def fan_depth_for(workers: int) -> int:
+    """Recursion depth to fan out so ≥ ``workers`` branch jobs exist.
+
+    Depth ``d`` of a binary recursion tree exposes ``2**d`` independent
+    branches; the smallest ``d`` with ``2**d >= workers`` keeps every
+    worker busy with at most 2× oversubscription.
+    """
+    depth = 0
+    while (1 << depth) < workers:
+        depth += 1
+    return depth
+
+
+def branch_executor(workers: int) -> ProcessPoolExecutor:
+    """A process pool using ``fork`` when available (cheap), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+
+class BranchDispatch:
+    """Collects branch-job futures for deterministic, ordered merging.
+
+    ``submit`` mirrors ``executor.submit`` but records ``meta`` (whatever
+    the driver needs to place the child's answer — a destination slice,
+    a part offset, a vertex map) alongside the future; ``drain`` yields
+    ``(meta, result)`` in submission order, so merged artefacts (timer
+    totals, resilience events) are ordered the same way on every run.
+    """
+
+    __slots__ = ("executor", "fan_depth", "_pending")
+
+    def __init__(self, executor, fan_depth: int):
+        self.executor = executor
+        self.fan_depth = fan_depth
+        self._pending = []
+
+    def submit(self, fn, /, *args, meta=None):
+        future = self.executor.submit(fn, *args)
+        self._pending.append((meta, future))
+        return future
+
+    def drain(self):
+        """Yield ``(meta, result)`` per submitted job, in submission order.
+
+        Blocks on each future in turn; a child exception propagates to the
+        caller unchanged (the pool re-raises it here), which matches the
+        sequential path's behaviour.
+        """
+        pending, self._pending = self._pending, []
+        for meta, future in pending:
+            yield meta, future.result()
+
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "fan_depth_for",
+    "branch_executor",
+    "BranchDispatch",
+]

@@ -83,6 +83,16 @@ VIOLATIONS = {
         "    trc.span('coarsen', nvtxs=graph.nvtxs)\n"
         "    return graph\n",
     ),
+    # RP011 only fires inside core/ package paths: the cached CSR
+    # expansion arrays must not be rebuilt inline on hot paths.
+    "RP011": (
+        "pkg/core/expand.py",
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def degrees(graph):\n"
+        "    return np.diff(graph.xadj)\n",
+    ),
 }
 
 
@@ -269,6 +279,6 @@ class TestShippedTree:
         )
         assert findings == [], format_findings(findings)
 
-    def test_default_rules_cover_rp001_to_rp010(self):
+    def test_default_rules_cover_rp001_to_rp011(self):
         ids = [r.id for r in default_rules()]
-        assert ids == [f"RP{i:03d}" for i in range(1, 11)]
+        assert ids == [f"RP{i:03d}" for i in range(1, 12)]

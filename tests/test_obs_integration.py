@@ -169,7 +169,10 @@ class TestCLITrace:
         capsys.readouterr()
         assert cli_main(["trace", trace_path, "--json"]) == 0
         prof = json.loads(capsys.readouterr().out)
-        assert set(prof) == {"runs", "phases", "spans", "events", "counters"}
+        assert set(prof) == {
+            "runs", "phases", "spans", "rollup", "events", "counters",
+        }
+        assert "kway.branch" in prof["rollup"]["driver"]["spans"]
 
     def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
@@ -191,3 +194,34 @@ class TestCLITrace:
         out = capsys.readouterr().out
         jsonl = [ln for ln in out.splitlines() if ln.startswith("{")]
         assert any('"t":"meta"' in ln for ln in jsonl)
+
+
+class TestProfileRollup:
+    """Kernel and recursion spans land in per-phase rollup buckets, not
+    "other" (see SPAN_PHASES in repro.obs.export)."""
+
+    def test_match_and_branch_spans_bucketed(self, trace_path):
+        g = grid2d(40, 40)  # large enough that coarsening actually matches
+        options = DEFAULT_OPTIONS.with_(trace=trace_path)
+        partition(g, 4, options, np.random.default_rng(2))
+        prof = profile(read_trace(trace_path))
+
+        match_spans = prof["rollup"]["CTime"]["spans"]
+        assert "coarsen.match" in match_spans
+        assert match_spans["coarsen.match"] > 0.0
+
+        driver_spans = prof["rollup"]["driver"]["spans"]
+        assert "kway.branch" in driver_spans
+        assert "partition" in driver_spans
+        assert "coarsen.match" not in prof["rollup"]["other"]["spans"]
+        assert "kway.branch" not in prof["rollup"]["other"]["spans"]
+
+    def test_phases_totals_unchanged_by_rollup(self, trace_path):
+        # The rollup is additional reporting: the ``phases`` reconciliation
+        # numbers must not absorb the (nested, untagged) kernel spans.
+        g = grid2d(40, 40)
+        options = DEFAULT_OPTIONS.with_(trace=trace_path)
+        result = partition(g, 2, options, np.random.default_rng(4))
+        prof = profile(read_trace(trace_path))
+        for key in PHASE_KEYS:
+            assert prof["phases"][key] <= result.timers.get(key, 0.0) + 1e-6

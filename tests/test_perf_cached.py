@@ -1,0 +1,65 @@
+"""Regression tests for the cached CSR expansion arrays.
+
+``CSRGraph.degrees()`` / ``CSRGraph.edge_sources()`` exist so hot paths
+(gain seeding, boundary extraction, metrics) stop re-materialising
+``np.diff(xadj)`` / ``np.repeat(arange, degrees)`` on every call.  These
+tests pin the contract: one build per graph, ever — the lint rule RP011
+keeps new inline rebuilds out of ``core/``, this keeps the cache itself
+honest.
+"""
+
+import numpy as np
+
+from repro.core.gains import external_internal_degrees
+from repro.matrices import grid2d
+from tests.conftest import random_graph
+
+
+class TestCachedArrays:
+    def test_degrees_cached_and_correct(self):
+        g = grid2d(6, 5)
+        first = g.degrees()
+        assert np.array_equal(first, np.diff(g.xadj))
+        assert g.degrees() is first
+
+    def test_edge_sources_cached_and_correct(self):
+        g = grid2d(6, 5)
+        src = g.edge_sources()
+        expected = np.repeat(
+            np.arange(g.nvtxs, dtype=np.int64), np.diff(g.xadj)
+        )
+        assert np.array_equal(src, expected)
+        assert g.edge_sources() is src
+
+    def test_one_repeat_build_per_graph(self, monkeypatch):
+        g = random_graph(40, 0.15, seed=2)
+        calls = {"repeat": 0}
+        real_repeat = np.repeat
+
+        def counting_repeat(*args, **kwargs):
+            calls["repeat"] += 1
+            return real_repeat(*args, **kwargs)
+
+        monkeypatch.setattr(np, "repeat", counting_repeat)
+        g.edge_sources()
+        g.edge_sources()
+        where = np.zeros(g.nvtxs, dtype=np.int32)
+        where[: g.nvtxs // 2] = 1
+        external_internal_degrees(g, where)
+        external_internal_degrees(g, where)
+        assert calls["repeat"] == 1, (
+            f"expected exactly one np.repeat build per graph, "
+            f"saw {calls['repeat']}"
+        )
+
+    def test_gain_seeding_matches_bruteforce(self):
+        g = random_graph(30, 0.2, seed=9)
+        where = (np.arange(g.nvtxs) % 2).astype(np.int32)
+        ed, idg = external_internal_degrees(g, where)
+        for v in range(g.nvtxs):
+            nbrs = g.adjncy[g.xadj[v]: g.xadj[v + 1]]
+            wgts = g.adjwgt[g.xadj[v]: g.xadj[v + 1]]
+            ext = int(wgts[where[nbrs] != where[v]].sum())
+            int_ = int(wgts[where[nbrs] == where[v]].sum())
+            assert ed[v] == ext
+            assert idg[v] == int_

@@ -284,8 +284,8 @@ class TestEndToEnd:
         boundary must catch it and name the matching phase."""
         real = compute_matching
 
-        def corrupted(graph, scheme, rng, cewgt=None):
-            match = real(graph, scheme, rng, cewgt).copy()
+        def corrupted(graph, scheme, rng, cewgt=None, impl="loop"):
+            match = real(graph, scheme, rng, cewgt, impl=impl).copy()
             matched = np.flatnonzero(match != np.arange(graph.nvtxs))
             if len(matched) >= 2:
                 match[int(matched[0])] = int(matched[0])  # break involution's mate
