@@ -6,16 +6,33 @@ Invoked three ways, all equivalent:
 * ``repro lint [paths]`` (subcommand of the main CLI)
 * ``repro-lint [paths]`` (console script)
 
-Exit status: 0 when clean, 1 when findings were reported, 2 on usage
-errors.  Findings print one per line as ``path:line:col: RPxxx message``.
+Exit status: 0 when clean (modulo the baseline), 1 when new findings were
+reported, 2 on usage errors.  Findings print one per line as
+``path:line:col: RPxxx message``, with ``--json`` / ``--sarif`` switching
+to the machine-readable formats of :mod:`repro.analysis.report`.
+
+A checked-in ``lint-baseline.json`` (discovered by walking up from the
+first lint path, like ``PAPER.md``) suppresses accepted historical
+findings; ``--write-baseline`` regenerates it from the current findings
+and ``--no-baseline`` shows everything.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.analysis.engine import format_findings, lint_paths
+from repro.analysis.report import (
+    apply_baseline,
+    find_baseline,
+    findings_to_json,
+    findings_to_sarif,
+    rules_markdown_table,
+    write_baseline,
+)
 from repro.analysis.rules import default_rules, rule_table
 
 __all__ = ["build_parser", "main", "run_lint"]
@@ -25,8 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST lint pass enforcing the repro codebase idioms "
-            "(RP001-RP008; see docs/ANALYSIS.md)"
+            "whole-program lint pass enforcing the repro codebase idioms "
+            "(RP001-RP016; see docs/ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -49,14 +66,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--rules-md",
+        action="store_true",
+        help="print the generated docs/ANALYSIS.md rule table and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array",
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_true",
+        dest="as_sarif",
+        help="emit findings as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="explicit baseline file (default: lint-baseline.json "
+        "discovered upward from the first path)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
     return parser
+
+
+def _resolve_baseline(args):
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        p = Path(args.baseline)
+        return p if p.is_file() or args.write_baseline else None
+    return find_baseline(args.paths[0]) if args.paths else None
 
 
 def run_lint(args) -> int:
     """Execute a parsed lint invocation; returns the process exit code."""
     if args.list_rules:
         for rule_id, name, summary in rule_table():
-            print(f"{rule_id}  {name:16s} {summary}")
+            print(f"{rule_id}  {name:18s} {summary}")
+        return 0
+    if args.rules_md:
+        print(rules_markdown_table())
         return 0
     rules = default_rules()
     if args.select:
@@ -70,13 +131,40 @@ def run_lint(args) -> int:
             return 2
         rules = [r for r in rules if r.id in wanted]
     findings = lint_paths(args.paths, rules=rules, paper=args.paper)
-    if findings:
-        print(format_findings(findings))
-        print(
-            f"{len(findings)} finding(s); suppress deliberate exceptions "
-            "with '# repro: noqa[RPxxx]' plus a justification",
-            file=sys.stderr,
+
+    if args.write_baseline:
+        target = (
+            Path(args.baseline)
+            if args.baseline
+            else (find_baseline(args.paths[0]) if args.paths else None)
         )
+        if target is None:
+            target = Path.cwd() / "lint-baseline.json"
+        write_baseline(findings, target)
+        print(
+            f"wrote {len(findings)} finding(s) to {target}", file=sys.stderr
+        )
+        return 0
+
+    baseline_path = _resolve_baseline(args)
+    baselined = []
+    if baseline_path is not None:
+        findings, baselined = apply_baseline(findings, baseline_path)
+
+    if args.as_sarif:
+        print(json.dumps(findings_to_sarif(findings), indent=2))
+    elif args.as_json:
+        print(findings_to_json(findings))
+    elif findings:
+        print(format_findings(findings))
+    if findings:
+        note = (
+            f"{len(findings)} finding(s); suppress deliberate exceptions "
+            "with '# repro: noqa[RPxxx]' plus a justification"
+        )
+        if baselined:
+            note += f" ({len(baselined)} baselined finding(s) hidden)"
+        print(note, file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,412 @@
+"""Reporting layer: JSON / SARIF 2.1.0 output, baselines, the rule table.
+
+Three consumers of the same :class:`~repro.analysis.engine.Finding` list:
+
+* ``repro lint --json`` — a stable machine-readable array for scripts;
+* ``repro lint --sarif`` — SARIF 2.1.0, the interchange format CI code
+  scanners ingest (GitHub code scanning renders findings inline on PRs);
+  call-path traces become ``relatedLocations`` so the "how does a driver
+  reach this" witness survives into the UI;
+* the **baseline** — a checked-in suppression file
+  (``lint-baseline.json``) listing historical findings that are accepted
+  for now.  Entries are fingerprinted by ``(rule, relative path, stripped
+  source line text)`` rather than line numbers, so unrelated edits above
+  a baselined finding do not resurrect it.  CI fails only on findings
+  *not* in the baseline, which lets new rules land with existing debt
+  explicitly recorded instead of silently grandfathered.
+
+The SARIF writer is validated (in tests) against a vendored subset of the
+SARIF 2.1.0 schema by :func:`validate_sarif` — stdlib-only, because the
+lint pass deliberately has no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "findings_to_json",
+    "findings_to_sarif",
+    "validate_sarif",
+    "Baseline",
+    "find_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "rules_markdown_table",
+    "BASELINE_NAME",
+]
+
+#: Canonical baseline file name, discovered by walking up from the lint
+#: target (the same discovery rule ``PAPER.md`` uses).
+BASELINE_NAME = "lint-baseline.json"
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+# --------------------------------------------------------------------------
+# JSON
+
+
+def findings_to_json(findings) -> str:
+    """Stable machine-readable JSON array of findings."""
+    rows = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "rule": f.rule_id,
+            "message": f.message,
+            "trace": list(f.trace),
+        }
+        for f in findings
+    ]
+    return json.dumps(rows, indent=2, sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# SARIF 2.1.0
+
+
+def _rule_descriptors():
+    from repro.analysis.rules import RULES
+
+    return [
+        {
+            "id": cls.id,
+            "name": cls.name,
+            "shortDescription": {"text": cls.summary},
+            "fullDescription": {"text": cls.doc or cls.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for cls in RULES
+    ]
+
+
+def _location(path: str, line: int, col: int, message=None) -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": Path(path).as_posix()},
+            "region": {"startLine": int(line), "startColumn": int(col)},
+        }
+    }
+    if message is not None:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def findings_to_sarif(findings, tool_version="0") -> dict:
+    """Render findings as a SARIF 2.1.0 log (one run, one tool)."""
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [_location(f.path, f.line, f.col)],
+        }
+        if f.trace:
+            # The call-path witness: one relatedLocation per hop, anchored
+            # at the finding (SARIF has no span info for the hops
+            # themselves — the names carry the path).
+            result["relatedLocations"] = [
+                _location(f.path, f.line, f.col, message=f"call path [{i}]: {name}")
+                for i, name in enumerate(f.trace)
+            ]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "version": str(tool_version),
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+#: Subset of the SARIF 2.1.0 schema covering everything this tool emits.
+#: Vendored because the lint pass is stdlib-only by design; tests
+#: additionally validate against the full schema when ``jsonschema``
+#: happens to be importable.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {"$ref": "#/definitions/location"},
+                                },
+                                "relatedLocations": {
+                                    "type": "array",
+                                    "items": {"$ref": "#/definitions/location"},
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+    "definitions": {
+        "location": {
+            "type": "object",
+            "properties": {
+                "physicalLocation": {
+                    "type": "object",
+                    "properties": {
+                        "artifactLocation": {
+                            "type": "object",
+                            "properties": {"uri": {"type": "string"}},
+                        },
+                        "region": {
+                            "type": "object",
+                            "properties": {
+                                "startLine": {"type": "integer", "minimum": 1},
+                                "startColumn": {"type": "integer", "minimum": 1},
+                            },
+                        },
+                    },
+                },
+                "message": {
+                    "type": "object",
+                    "required": ["text"],
+                    "properties": {"text": {"type": "string"}},
+                },
+            },
+        }
+    },
+}
+
+
+def _validate(doc, schema, root, path="$"):
+    """Minimal JSON-Schema-subset validator; returns a list of errors."""
+    errors = []
+    if "$ref" in schema:
+        target = root
+        for part in schema["$ref"].lstrip("#/").split("/"):
+            target = target[part]
+        return _validate(doc, target, root, path)
+    stype = schema.get("type")
+    if stype == "object":
+        if not isinstance(doc, dict):
+            return [f"{path}: expected object, got {type(doc).__name__}"]
+        for req in schema.get("required", ()):
+            if req not in doc:
+                errors.append(f"{path}: missing required property {req!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                errors.extend(_validate(doc[key], sub, root, f"{path}.{key}"))
+    elif stype == "array":
+        if not isinstance(doc, list):
+            return [f"{path}: expected array, got {type(doc).__name__}"]
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(doc):
+                errors.extend(_validate(item, items, root, f"{path}[{i}]"))
+    elif stype == "string":
+        if not isinstance(doc, str):
+            errors.append(f"{path}: expected string, got {type(doc).__name__}")
+    elif stype == "integer":
+        if not isinstance(doc, int) or isinstance(doc, bool):
+            errors.append(f"{path}: expected integer, got {type(doc).__name__}")
+        elif "minimum" in schema and doc < schema["minimum"]:
+            errors.append(f"{path}: {doc} below minimum {schema['minimum']}")
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not one of {schema['enum']}")
+    return errors
+
+
+def validate_sarif(doc) -> list:
+    """Validate a SARIF dict against the vendored 2.1.0 subset schema.
+
+    Returns a list of error strings — empty means valid.
+    """
+    return _validate(doc, SARIF_SUBSET_SCHEMA, SARIF_SUBSET_SCHEMA)
+
+
+# --------------------------------------------------------------------------
+# Baseline suppression
+
+
+class Baseline:
+    """A multiset of accepted findings, fingerprinted content-wise.
+
+    The fingerprint is ``(rule id, path relative to the baseline file's
+    directory, stripped source text of the flagged line)`` — stable under
+    line-number drift, invalidated the moment the flagged line itself
+    changes (which is when the finding deserves a fresh look).
+    """
+
+    def __init__(self, entries=(), root: Path | None = None):
+        self.root = Path(root) if root is not None else Path(".")
+        self._counts: dict[tuple, int] = {}
+        for e in entries:
+            key = (e["rule"], e["path"], e["line_text"])
+            self._counts[key] = self._counts.get(key, 0) + int(e.get("count", 1))
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(data.get("findings", ()), root=path.parent)
+
+    def _key_for(self, finding) -> tuple:
+        path = Path(finding.path)
+        try:
+            rel = path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            text = lines[finding.line - 1].strip() if finding.line <= len(lines) else ""
+        except OSError:
+            text = ""
+        return (finding.rule_id, rel, text)
+
+    def filter(self, findings):
+        """Split ``findings`` into (new, baselined) against this baseline."""
+        remaining = dict(self._counts)
+        new, baselined = [], []
+        for f in findings:
+            key = self._key_for(f)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(f)
+            else:
+                new.append(f)
+        return new, baselined
+
+    @staticmethod
+    def entries_for(findings, root) -> list:
+        """Baseline entry rows for ``findings`` (for ``--write-baseline``)."""
+        root = Path(root).resolve()
+        counts: dict[tuple, int] = {}
+        for f in findings:
+            path = Path(f.path)
+            try:
+                rel = path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+                text = lines[f.line - 1].strip() if f.line <= len(lines) else ""
+            except OSError:
+                text = ""
+            key = (f.rule_id, rel, text)
+            counts[key] = counts.get(key, 0) + 1
+        return [
+            {"rule": rule, "path": rel, "line_text": text, "count": count}
+            for (rule, rel, text), count in sorted(counts.items())
+        ]
+
+
+def find_baseline(start) -> Path | None:
+    """Walk up from ``start`` looking for :data:`BASELINE_NAME`."""
+    cur = Path(start).resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in (cur, *cur.parents):
+        p = candidate / BASELINE_NAME
+        if p.is_file():
+            return p
+    return None
+
+
+def apply_baseline(findings, baseline_path):
+    """(new, baselined) findings under the baseline at ``baseline_path``."""
+    baseline = Baseline.load(baseline_path)
+    return baseline.filter(findings)
+
+
+def write_baseline(findings, path) -> None:
+    """Write ``findings`` as the new baseline file at ``path``."""
+    path = Path(path)
+    doc = {
+        "comment": (
+            "Accepted historical lint findings. Entries are matched by "
+            "(rule, path, stripped line text); editing a flagged line "
+            "invalidates its entry. Regenerate with: repro lint "
+            "--write-baseline <paths>"
+        ),
+        "findings": Baseline.entries_for(findings, path.parent),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+# --------------------------------------------------------------------------
+# Generated rule table (docs/ANALYSIS.md)
+
+
+def rules_markdown_table() -> str:
+    """The docs/ANALYSIS.md rule table, generated from the registry."""
+    from repro.analysis.rules import RULES
+
+    lines = [
+        "| Rule | Name | Checks |",
+        "|------|------|--------|",
+    ]
+    for cls in RULES:
+        body = (cls.doc or cls.summary).strip().replace("\n", " ")
+        lines.append(f"| {cls.id} | `{cls.name}` | {body} |")
+    return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RP001`` … ``RP010``).
+"""The repo-specific lint rules (``RP001`` … ``RP016``).
 
 Each rule encodes an idiom this codebase relies on for *correctness* — the
 delicate incremental machinery of the multilevel pipeline fails silently
@@ -25,36 +25,44 @@ RP009     a ``ReproError`` fallback handler in ``core/``/``ordering/``
 RP010     tracer spans are entered with ``with`` (never called bare)
           and ``core/`` emits events through an open span, not directly
           on a tracer (keeps the trace a well-nested span tree)
+RP011     hot paths use the cached CSR expansions (``graph.degrees()``,
+          ``graph.edge_sources()``) instead of rebuilding them
+RP012     integer weight data is never accumulated in float64
+          (``np.bincount(weights=...)`` rounds above 2**53)
+RP013     weight data stays int64 — no narrowing or float casts
+RP014     the seed thread survives every call-graph path, and no
+          entropy is reachable from the ``workers=N`` pool entries
+RP015     worker-reachable code never mutates module-level state
+RP016     worker-reachable code never mutates ambient process state
+          (``os.environ``, ``os.chdir``, global RNG seeds)
 ========  ============================================================
 
+``RP001`` … ``RP011`` are per-file rules over one module's AST;
+``RP012`` … ``RP016`` are whole-program rules over the project model and
+call graph (:mod:`repro.analysis.project`, :mod:`repro.analysis.dataflow`).
+This table is rendered into ``docs/ANALYSIS.md`` by
+:func:`repro.analysis.report.rules_markdown_table` — regenerate with
+``repro lint --rules-md`` instead of editing the doc by hand.
+
 Suppress a deliberate exception with ``# repro: noqa[RPxxx]`` plus a
-justification comment (see :mod:`repro.analysis.engine`).
+justification comment (see :mod:`repro.analysis.suppress`).
 """
 
 from __future__ import annotations
 
 import ast
 
-__all__ = ["Rule", "default_rules", "RULES", "rule_table"]
+from repro.analysis.engine import Rule
+from repro.analysis.dataflow import (
+    DATAFLOW_RULES,
+    SEEDED_RANDOM_API as _SEEDED_RANDOM_API,
+    is_np_random as _is_np_random,
+)
+
+__all__ = ["Rule", "default_rules", "RULES", "PER_FILE_RULES", "rule_table"]
 
 #: The CSR array attribute names protected by RP002.
 CSR_ARRAYS = frozenset({"xadj", "adjncy", "adjwgt", "vwgt"})
-
-#: ``np.random`` attributes that are part of the seeded Generator API; any
-#: other attribute is the legacy global-state API and non-deterministic.
-_SEEDED_RANDOM_API = frozenset(
-    {
-        "default_rng",
-        "Generator",
-        "SeedSequence",
-        "BitGenerator",
-        "PCG64",
-        "PCG64DXSM",
-        "Philox",
-        "MT19937",
-        "SFC64",
-    }
-)
 
 #: Builtins that legitimately signal *programming* errors per Python
 #: protocol (attribute lookup, argument types, abstract methods) and are
@@ -95,28 +103,6 @@ _BUILTIN_EXCEPTIONS = frozenset(
 )
 
 
-class Rule:
-    """Base class: subclasses set ``id``/``name``/``summary`` and ``check``."""
-
-    id = "RP000"
-    name = "base"
-    summary = ""
-
-    def check(self, ctx):
-        """Yield :class:`~repro.analysis.engine.Finding` objects for ``ctx``."""
-        raise NotImplementedError
-
-
-def _is_np_random(node) -> bool:
-    """Whether ``node`` is the expression ``np.random`` / ``numpy.random``."""
-    return (
-        isinstance(node, ast.Attribute)
-        and node.attr == "random"
-        and isinstance(node.value, ast.Name)
-        and node.value.id in ("np", "numpy")
-    )
-
-
 def _operand_name(node):
     """Identifier of a Name/Attribute operand, else ``None``."""
     if isinstance(node, ast.Name):
@@ -145,11 +131,23 @@ class SeededRandomRule(Rule):
     id = "RP001"
     name = "seeded-random"
     summary = "unseeded/hard-coded RNG outside utils/rng.py"
+    doc = (
+        "No unseeded `np.random.default_rng()`, no hard-coded seed "
+        "severing the caller's seed thread, no legacy `np.random.<fn>` "
+        "global-state calls. Thread a Generator via "
+        "`repro.utils.rng.as_generator`. In `tests/`/`benchmarks/` a "
+        "literal seed is the deterministic idiom and is allowed."
+    )
+
+    #: Directories where a hard-coded literal seed *is* the deterministic
+    #: idiom (a test fixture pinning its own stream) and is not flagged.
+    _LITERAL_SEED_OK_DIRS = frozenset({"tests", "benchmarks", "bench"})
 
     def check(self, ctx):
         if len(ctx.parts) >= 2 and ctx.parts[-2:] == ("utils", "rng.py"):
             return
-        for node in ast.walk(ctx.tree):
+        literal_ok = bool(self._LITERAL_SEED_OK_DIRS.intersection(ctx.parts))
+        for node in ctx.walk():
             if not isinstance(node, ast.Attribute) or not _is_np_random(node.value):
                 continue
             if node.attr not in _SEEDED_RANDOM_API:
@@ -159,7 +157,7 @@ class SeededRandomRule(Rule):
                     f"legacy global-state RNG call np.random.{node.attr}; "
                     "thread a Generator via repro.utils.rng.as_generator",
                 )
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
@@ -175,7 +173,11 @@ class SeededRandomRule(Rule):
                     "reproducible; accept a seed/rng parameter and use "
                     "repro.utils.rng.as_generator",
                 )
-            elif node.args and isinstance(node.args[0], ast.Constant):
+            elif (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and not literal_ok
+            ):
                 yield ctx.finding(
                     node,
                     self.id,
@@ -199,11 +201,17 @@ class CSRMutationRule(Rule):
     id = "RP002"
     name = "csr-immutable"
     summary = "CSR array mutated outside graph/"
+    doc = (
+        "`CSRGraph` arrays (`xadj`/`adjncy`/`adjwgt`/`vwgt`) are shared "
+        "views across hierarchy levels; only `graph/` (constructors and "
+        "the contraction kernel) may write to them — everyone else builds "
+        "a new graph."
+    )
 
     def check(self, ctx):
         if "graph" in ctx.parts:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
                 targets = (
                     node.targets if isinstance(node, ast.Assign) else [node.target]
@@ -248,11 +256,17 @@ class ExceptionSwallowRule(Rule):
     id = "RP003"
     name = "no-swallow"
     summary = "bare except / except Exception without re-raise"
+    doc = (
+        "No bare `except:` and no `except Exception` that fails to "
+        "re-raise — the sanitizer and validators communicate through "
+        "exceptions, and a swallowed one turns an invariant violation "
+        "into a silent wrong answer."
+    )
 
     _BROAD = ("Exception", "BaseException")
 
     def check(self, ctx):
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.ExceptHandler):
                 continue
             if node.type is None:
@@ -297,11 +311,17 @@ class FloatEqualityRule(Rule):
     id = "RP004"
     name = "exact-compare"
     summary = "float == / equality on gain-cut values"
+    doc = (
+        "No `==`/`!=` against float literals, and no equality between "
+        "gain/cut-named operands unless both are provably exact integers "
+        "(suppress with a justified noqa if so) — refinement decisions "
+        "must not become platform-dependent."
+    )
 
     _KEYWORDS = ("gain", "cut")
 
     def check(self, ctx):
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Compare):
                 continue
             if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
@@ -348,9 +368,15 @@ class ErrorHierarchyRule(Rule):
     id = "RP005"
     name = "error-hierarchy"
     summary = "builtin exception raised instead of a ReproError"
+    doc = (
+        "Raised exceptions derive from `ReproError` (see "
+        "`repro.utils.errors`) so callers can catch the library with one "
+        "clause; `TypeError`/`AttributeError`/`NotImplementedError`/"
+        "`StopIteration` are exempt (Python protocol semantics)."
+    )
 
     def check(self, ctx):
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Raise) or node.exc is None:
                 continue
             exc = node.exc
@@ -379,6 +405,11 @@ class NoPrintRule(Rule):
     id = "RP006"
     name = "no-print"
     summary = "print() in library code"
+    doc = (
+        "No `print()` in library code — stray output corrupts the CLI's "
+        "machine-readable output. The CLI front-ends and bench/reporting "
+        "layers own stdout and are exempt."
+    )
 
     _EXEMPT_FILES = frozenset({"cli.py", "__main__.py"})
     _EXEMPT_DIRS = frozenset({"bench", "benchmarks"})
@@ -388,7 +419,7 @@ class NoPrintRule(Rule):
             return
         if self._EXEMPT_DIRS.intersection(ctx.parts):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)
@@ -414,6 +445,11 @@ class DunderAllRule(Rule):
     id = "RP007"
     name = "declare-all"
     summary = "public package __init__ without __all__"
+    doc = (
+        "Package `__init__` modules with content must declare `__all__` — "
+        "the export surface stays deliberate and the API doc stays in "
+        "sync."
+    )
 
     def check(self, ctx):
         if not ctx.parts or ctx.parts[-1] != "__init__.py":
@@ -459,13 +495,18 @@ class PaperSectionRule(Rule):
     id = "RP008"
     name = "paper-section"
     summary = "docstring cites a paper section missing from PAPER.md"
+    doc = (
+        "Every `§N.M` docstring citation must exist in `PAPER.md`'s "
+        "section outline; a dangling citation means docstring and paper "
+        "drifted apart. Skipped when no `PAPER.md` is found."
+    )
 
     def check(self, ctx):
         from repro.analysis.sections import section_tokens
 
         if ctx.sections is None:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(
                 node,
                 (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
@@ -522,13 +563,18 @@ class FallbackRecordRule(Rule):
     id = "RP009"
     name = "record-fallback"
     summary = "ReproError fallback without a ResilienceReport record"
+    doc = (
+        "An `except ReproError`-family handler in `core/`/`ordering/` "
+        "must re-raise or call `report.record(...)` — every degraded "
+        "result must say how it degraded (docs/RESILIENCE.md)."
+    )
 
     _PACKAGES = frozenset({"core", "ordering"})
 
     def check(self, ctx):
         if not self._PACKAGES.intersection(ctx.parts):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.ExceptHandler) or node.type is None:
                 continue
             types = (
@@ -577,6 +623,12 @@ class ObsHygieneRule(Rule):
     id = "RP010"
     name = "obs-hygiene"
     summary = "bare Tracer.span() call or un-nested tracer event in core/"
+    doc = (
+        "`Tracer.span(...)` must be entered with `with` (the record is "
+        "written on exit), and `core/` emits events through the span "
+        "handed down by the driver so the trace stays a well-nested span "
+        "tree (docs/OBSERVABILITY.md)."
+    )
 
     _TRACER_NAMES = frozenset({"trc", "tracer"})
 
@@ -589,7 +641,7 @@ class ObsHygieneRule(Rule):
     def check(self, ctx):
         entered = set()   # span-call nodes used as with-items
         spanning = []     # (lineno, end_lineno) of with-blocks opening a span
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, (ast.With, ast.AsyncWith)):
                 continue
             for item in node.items:
@@ -603,7 +655,7 @@ class ObsHygieneRule(Rule):
                     entered.add(id(call))
                     spanning.append((node.lineno, node.end_lineno))
         in_core = "core" in ctx.parts
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
@@ -658,6 +710,13 @@ class CachedExpansionRule(Rule):
     id = "RP011"
     name = "cached-expansion"
     summary = "np.diff(xadj)/np.repeat degree expansion rebuilt in core/"
+    doc = (
+        "Hot paths in `core/` must use the cached CSR expansions — "
+        "`graph.degrees()` instead of `np.diff(xadj)`, "
+        "`graph.edge_sources()` instead of a degree-array `np.repeat` — "
+        "to keep the allocation churn the vectorized kernels removed "
+        "from creeping back (docs/PERFORMANCE.md)."
+    )
 
     def _xadjish(self, node) -> bool:
         """Whether ``node`` mentions an ``xadj`` array."""
@@ -688,7 +747,7 @@ class CachedExpansionRule(Rule):
     def check(self, ctx):
         if "core" not in ctx.parts:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
@@ -717,8 +776,8 @@ class CachedExpansionRule(Rule):
                     )
 
 
-#: The full rule set, in id order.
-RULES = (
+#: The per-file rules (one module's AST at a time), in id order.
+PER_FILE_RULES = (
     SeededRandomRule,
     CSRMutationRule,
     ExceptionSwallowRule,
@@ -731,6 +790,10 @@ RULES = (
     ObsHygieneRule,
     CachedExpansionRule,
 )
+
+#: The full rule set — per-file rules plus the whole-program dataflow
+#: rules (:data:`repro.analysis.dataflow.DATAFLOW_RULES`) — in id order.
+RULES = PER_FILE_RULES + DATAFLOW_RULES
 
 
 def default_rules():

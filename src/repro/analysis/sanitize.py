@@ -178,8 +178,12 @@ class Sanitizer:
         if cmap.min(initial=0) < 0 or cmap.max(initial=-1) >= max(nc, 1):
             _fail("coarse map contains out-of-range multinode ids",
                   phase=phase, level=level)
-        expect_vwgt = np.bincount(cmap, weights=fine.vwgt, minlength=nc)
-        if not np.array_equal(expect_vwgt.astype(np.int64), coarse.vwgt):
+        from repro.graph.partition import exact_weight_bincount
+
+        expect_vwgt = exact_weight_bincount(
+            cmap, fine.vwgt, minlength=nc, total=fine.total_vwgt()
+        )
+        if not np.array_equal(expect_vwgt, coarse.vwgt):
             v = int(np.flatnonzero(expect_vwgt != coarse.vwgt)[0])
             _fail(
                 f"vertex weight not conserved at multinode {v}: expected "

@@ -1,0 +1,56 @@
+"""Per-line ``# repro: noqa`` suppression parsing and matching.
+
+Split out of the engine so the project model (which caches the table per
+module) and the engine (which filters findings through it) can share one
+implementation without an import cycle.
+
+Suppression syntax — a finding on line L is suppressed by a comment on
+that line::
+
+    risky_call()  # repro: noqa[RP001]
+    other_call()  # repro: noqa[RP001,RP004]
+    anything()    # repro: noqa
+
+The bare form suppresses every rule on the line; the bracketed form only
+the listed ids.  Suppressions should carry a justification in the
+surrounding comment — the point is an audited exception, not an off
+switch.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SUPPRESS_ALL", "collect_suppressions", "is_suppressed"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel stored in the suppression table for a bare ``# repro: noqa``.
+SUPPRESS_ALL = "*"
+
+
+def collect_suppressions(source: str) -> dict:
+    """Per-line suppression table from ``# repro: noqa[...]`` comments."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        ids = m.group("ids")
+        if ids is None:
+            table[lineno] = {SUPPRESS_ALL}
+        else:
+            table[lineno] = {
+                token.strip().upper() for token in ids.split(",") if token.strip()
+            }
+    return table
+
+
+def is_suppressed(finding, suppressions: dict) -> bool:
+    """Whether the suppression table silences ``finding``."""
+    ids = suppressions.get(finding.line)
+    if not ids:
+        return False
+    return SUPPRESS_ALL in ids or finding.rule_id.upper() in ids

@@ -137,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", action="store_true", help="list suite workloads")
 
     p = sub.add_parser(
-        "lint", help="run the repo lint pass (RP001-RP011, docs/ANALYSIS.md)"
+        "lint",
+        help="run the whole-program lint pass (RP001-RP016, docs/ANALYSIS.md)",
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -147,6 +148,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--select", help="comma-separated rule ids to run")
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    p.add_argument(
+        "--rules-md", action="store_true",
+        help="print the generated docs/ANALYSIS.md rule table and exit",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON array",
+    )
+    p.add_argument(
+        "--sarif", action="store_true", dest="as_sarif",
+        help="emit findings as a SARIF 2.1.0 log",
+    )
+    p.add_argument(
+        "--baseline", help="explicit lint-baseline.json (default: discovered)"
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
     )
 
     p = sub.add_parser(

@@ -20,6 +20,7 @@ import heapq
 
 import numpy as np
 
+from repro.graph.partition import exact_weight_bincount
 from repro.utils.errors import ConfigurationError
 
 
@@ -35,9 +36,17 @@ def external_internal_degrees(graph, where):
     src = graph.edge_sources()
     cross = where[src] != where[graph.adjncy]
     w = graph.adjwgt
-    ed = np.bincount(src, weights=np.where(cross, w, 0), minlength=graph.nvtxs)
-    id_ = np.bincount(src, weights=np.where(cross, 0, w), minlength=graph.nvtxs)
-    return ed.astype(np.int64), id_.astype(np.int64)
+    # Upper bound on either directed-edge weight sum (total_adjwgt is the
+    # undirected half-sum); an over-estimate only ever forces the slower
+    # exact path, never the inexact one.
+    total = 2 * graph.total_adjwgt()
+    ed = exact_weight_bincount(
+        src, np.where(cross, w, 0), minlength=graph.nvtxs, total=total
+    )
+    id_ = exact_weight_bincount(
+        src, np.where(cross, 0, w), minlength=graph.nvtxs, total=total
+    )
+    return ed, id_
 
 
 class GainTable:

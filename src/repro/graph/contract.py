@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph, INDEX_DTYPE, WEIGHT_DTYPE
+from repro.graph.partition import exact_weight_bincount
 
 
 def coarse_map_from_matching(match) -> tuple[np.ndarray, int]:
@@ -67,8 +68,8 @@ def contract(graph, cmap, ncoarse) -> CSRGraph:
     cu, cv = cu[keep], cv[keep]
     w = graph.adjwgt[keep]
 
-    cvwgt = np.bincount(cmap, weights=graph.vwgt, minlength=ncoarse).astype(
-        WEIGHT_DTYPE
+    cvwgt = exact_weight_bincount(
+        cmap, graph.vwgt, minlength=ncoarse, total=graph.total_vwgt()
     )
 
     if len(cu) == 0:
@@ -141,10 +142,10 @@ def collapsed_edge_weight(graph, cmap, ncoarse, cewgt=None) -> np.ndarray:
     cu = cmap[src]
     internal = cu == cmap[graph.adjncy]
     # Each collapsed undirected edge appears twice in the directed arrays.
-    collapsed = np.bincount(
-        cu[internal], weights=graph.adjwgt[internal], minlength=ncoarse
-    ).astype(np.int64)
-    carried = np.bincount(cmap, weights=cewgt, minlength=ncoarse).astype(np.int64)
+    collapsed = exact_weight_bincount(
+        cu[internal], graph.adjwgt[internal], minlength=ncoarse
+    )
+    carried = exact_weight_bincount(cmap, cewgt, minlength=ncoarse)
     return carried + collapsed // 2
 
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.core.coarsen import coarsen
 from repro.core.multilevel import bisect
 from repro.core.options import DEFAULT_OPTIONS
-from repro.graph.partition import boundary_mask
+from repro.graph.partition import boundary_mask, exact_weight_bincount
 from repro.parallel.coloring import handshake_matching_rounds
 from repro.utils.rng import as_generator, spawn_child
 
@@ -84,9 +84,10 @@ def collect_level_stats(graph, options=DEFAULT_OPTIONS, rng=None):
         if i < len(hierarchy.cmaps):
             cmap = hierarchy.cmaps[i]
             nc = hierarchy.graphs[i + 1].nvtxs
-            votes1 = np.bincount(
-                cmap, weights=where * g.vwgt, minlength=nc
+            tw = g.total_vwgt()
+            votes1 = exact_weight_bincount(
+                cmap, where * g.vwgt, minlength=nc, total=tw
             )
-            total = np.bincount(cmap, weights=g.vwgt, minlength=nc)
+            total = exact_weight_bincount(cmap, g.vwgt, minlength=nc, total=tw)
             where = (votes1 * 2 > total).astype(np.int8)
     return levels, result
