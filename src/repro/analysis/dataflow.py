@@ -1,4 +1,4 @@
-"""Dataflow checkers over the project model: RP012 … RP016.
+"""Dataflow checkers over the project model: RP012 … RP017.
 
 Three checker families, all built on the :mod:`~repro.analysis.project`
 symbol table and the :mod:`~repro.analysis.callgraph` call graph:
@@ -51,6 +51,7 @@ __all__ = [
     "RngThreadRule",
     "WorkerPurityRule",
     "WorkerAmbientStateRule",
+    "KernelHygieneRule",
     "is_weight_name",
 ]
 
@@ -1020,6 +1021,117 @@ class WorkerAmbientStateRule(ProjectRule):
                         )
 
 
+class KernelHygieneRule(ProjectRule):
+    """RP017 — kernel backends only via the registry; numba imports lazy.
+
+    The :mod:`repro.kernels` registry owns backend selection: capability
+    probing, the fallback chain and the selection metadata that surfaces
+    in traces and results.  Two import disciplines keep that true:
+
+    * **backend modules are registry-private** — a module of a ``kernels``
+      package (``repro.kernels.vec_backend``, ``repro.kernels.numba_backend``)
+      may only be imported from inside that package.  An outside import
+      bypasses the probe/fallback logic, so an optional dependency error
+      surfaces as a crash instead of a recorded fallback;
+    * **numba is imported lazily** — a module-level ``import numba``
+      anywhere makes the whole tree unimportable on machines without the
+      optional dependency.  Every numba import must sit inside a function
+      (the probe or a kernel loader).
+    """
+
+    id = "RP017"
+    name = "kernel-hygiene"
+    summary = "backend module imported outside the registry, or eager numba import"
+    doc = (
+        "Kernel backend modules (submodules of a `kernels` package) may "
+        "only be imported from inside that package — everything else goes "
+        "through the registry (`repro.kernels`), which owns capability "
+        "probing and the fallback chain. `numba` may never be imported at "
+        "module level: the optional dependency must be probed/loaded "
+        "inside a function so the tree imports cleanly without it."
+    )
+
+    def _resolve_from(self, module, node) -> str:
+        """Absolute dotted target of an ``ImportFrom`` (resolves relatives)."""
+        if node.level == 0:
+            return node.module or ""
+        parts = module.name.split(".")
+        if module.path.stem != "__init__":
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            parts = parts[:-drop] if drop < len(parts) else []
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts)
+
+    @staticmethod
+    def _is_backend_module(target: str) -> bool:
+        """Whether ``target`` names a module *inside* a kernels package."""
+        parts = target.split(".")
+        return "kernels" in parts[:-1]
+
+    @staticmethod
+    def _is_numba(target: str) -> bool:
+        return target == "numba" or target.startswith("numba.")
+
+    def _is_lazy(self, module, node) -> bool:
+        """Whether the import sits inside a function (lazy by construction)."""
+        return any(
+            isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for anc in module.ancestors(node)
+        )
+
+    def check_project(self, ctx):
+        module_names = {m.name for m in ctx.project.modules.values()}
+        for module in ctx.project.modules.values():
+            inside_kernels = "kernels" in module.parts
+            for node in module.by_type(ast.Import):
+                for alias in node.names:
+                    yield from self._check_target(
+                        ctx, module, node, alias.name, inside_kernels
+                    )
+            for node in module.by_type(ast.ImportFrom):
+                base = self._resolve_from(module, node)
+                yield from self._check_target(
+                    ctx, module, node, base, inside_kernels
+                )
+                # ``from pkg.kernels import vec_backend`` imports the
+                # backend module itself under a from-import spelling.
+                for alias in node.names:
+                    dotted = f"{base}.{alias.name}" if base else alias.name
+                    if dotted in module_names:
+                        yield from self._check_target(
+                            ctx, module, node, dotted, inside_kernels
+                        )
+
+    def _check_target(self, ctx, module, node, target, inside_kernels):
+        if not target:
+            return
+        if self._is_numba(target) and not self._is_lazy(module, node):
+            yield ctx.finding(
+                module,
+                node,
+                self.id,
+                "module-level numba import: the optional dependency must "
+                "be imported lazily (inside the probe or a kernel loader) "
+                "so the tree imports cleanly without it",
+            )
+        if (
+            self._is_backend_module(target)
+            and not inside_kernels
+            and not self._is_numba(target)
+        ):
+            yield ctx.finding(
+                module,
+                node,
+                self.id,
+                f"backend module {target!r} imported outside its kernels "
+                "package; go through the registry package instead — it "
+                "owns the capability probe and the fallback chain",
+            )
+
+
 #: The whole-program rule set, in id order (registered by rules.RULES).
 DATAFLOW_RULES = (
     ExactAccumulationRule,
@@ -1027,4 +1139,5 @@ DATAFLOW_RULES = (
     RngThreadRule,
     WorkerPurityRule,
     WorkerAmbientStateRule,
+    KernelHygieneRule,
 )

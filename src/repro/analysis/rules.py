@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RP001`` … ``RP016``).
+"""The repo-specific lint rules (``RP001`` … ``RP017``).
 
 Each rule encodes an idiom this codebase relies on for *correctness* — the
 delicate incremental machinery of the multilevel pipeline fails silently
@@ -35,10 +35,13 @@ RP014     the seed thread survives every call-graph path, and no
 RP015     worker-reachable code never mutates module-level state
 RP016     worker-reachable code never mutates ambient process state
           (``os.environ``, ``os.chdir``, global RNG seeds)
+RP017     kernel backend modules are reachable only through the
+          :mod:`repro.kernels` registry, and ``numba`` is never
+          imported at module level (optional-dependency hygiene)
 ========  ============================================================
 
 ``RP001`` … ``RP011`` are per-file rules over one module's AST;
-``RP012`` … ``RP016`` are whole-program rules over the project model and
+``RP012`` … ``RP017`` are whole-program rules over the project model and
 call graph (:mod:`repro.analysis.project`, :mod:`repro.analysis.dataflow`).
 This table is rendered into ``docs/ANALYSIS.md`` by
 :func:`repro.analysis.report.rules_markdown_table` — regenerate with

@@ -19,11 +19,16 @@ knobs the pytest benchmarks honour:
     Optional per-partition wall-clock budget in seconds (unset = no
     deadline); exercises the deadline-degraded paths of
     docs/RESILIENCE.md under benchmark load.
+``REPRO_BENCH_KERNELS``
+    Kernel backend for every experiment: ``loop`` (bit-exact reference,
+    default), ``vectorized`` or ``numba`` — the ``options.kernels``
+    registry switch of docs/PERFORMANCE.md, with per-phase fallback when
+    a backend is unavailable.  The CI perf legs run the same table under
+    two values and gate on ``repro bench-diff``.
 ``REPRO_BENCH_IMPL``
-    Matching kernel for every experiment: ``loop`` (the paper's
+    Legacy matching-phase-only kernel switch: ``loop`` (the paper's
     sequential scan, default) or ``vectorized`` (batched proposal
-    rounds, docs/PERFORMANCE.md).  The CI perf-smoke leg runs the same
-    table under both values and gates on ``repro bench-diff``.
+    rounds).  Ignored when ``REPRO_BENCH_KERNELS`` is set.
 ``REPRO_BENCH_WORKERS``
     Process count for parallel recursive bisection (default 1 =
     sequential; bit-identical results either way).
@@ -68,13 +73,16 @@ def bench_options(base=None):
     """Experiment options with the env-selected kernel and worker count.
 
     Starts from ``base`` (default: :data:`~repro.core.options.DEFAULT_OPTIONS`)
-    and applies ``REPRO_BENCH_IMPL`` / ``REPRO_BENCH_WORKERS`` when set,
-    so every bench driver runs the configuration the CI perf-smoke leg
-    (or a local A/B run) asked for.
+    and applies ``REPRO_BENCH_KERNELS`` / ``REPRO_BENCH_IMPL`` /
+    ``REPRO_BENCH_WORKERS`` when set, so every bench driver runs the
+    configuration the CI perf legs (or a local A/B run) asked for.
     """
     from repro.core.options import DEFAULT_OPTIONS
 
     options = base if base is not None else DEFAULT_OPTIONS
+    backend = os.environ.get("REPRO_BENCH_KERNELS", "")
+    if backend:
+        options = options.with_(kernels=backend)
     impl = os.environ.get("REPRO_BENCH_IMPL", "")
     if impl:
         options = options.with_(matching_impl=impl)

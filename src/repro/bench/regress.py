@@ -35,6 +35,7 @@ __all__ = [
     "load_payloads",
     "diff_paths",
     "format_report",
+    "format_markdown",
     "DEFAULT_TIME_TOL",
     "DEFAULT_CUT_TOL",
     "DEFAULT_MIN_TIME",
@@ -259,4 +260,49 @@ def format_report(report: DiffReport, *, verbose: bool = False) -> str:
         lines.append(f"  note: row {table}/{matrix}/{scheme} only in OLD")
     for table, matrix, scheme in report.added_rows:
         lines.append(f"  note: row {table}/{matrix}/{scheme} only in NEW")
+    return "\n".join(lines)
+
+
+def format_markdown(report: DiffReport, *, verbose: bool = False) -> str:
+    """GitHub-flavored markdown rendering of a :class:`DiffReport`.
+
+    Designed to be appended to ``$GITHUB_STEP_SUMMARY``: a status
+    headline, a table of the regressed cells (all compared cells with
+    ``verbose``), and the row/table mismatch notes as a bullet list.
+    """
+    regressions = report.regressions
+    status = "✅ no regressions" if report.ok else (
+        f"❌ {len(regressions)} regression(s)"
+    )
+    lines = [
+        "### Bench diff",
+        "",
+        f"{status} across {len(report.cells)} compared cells.",
+    ]
+    listed = report.cells if verbose else regressions
+    if listed:
+        lines += [
+            "",
+            "| status | table | matrix | scheme | column | kind | old | new | ratio |",
+            "| --- | --- | --- | --- | --- | --- | ---: | ---: | ---: |",
+        ]
+        for cell in listed:
+            flag = "REGRESS" if cell.regressed else "ok"
+            lines.append(
+                f"| {flag} | {cell.table} | {cell.matrix} | {cell.scheme} "
+                f"| {cell.column} | {cell.kind} | {cell.old:g} "
+                f"| {cell.new:g} | x{cell.ratio:.2f} |"
+            )
+    notes = [
+        *(f"table `{t}` present only in OLD" for t in report.missing_tables),
+        *(f"table `{t}` present only in NEW" for t in report.added_tables),
+        *(
+            f"row `{t}/{m}/{s}` only in OLD"
+            for t, m, s in report.missing_rows
+        ),
+        *(f"row `{t}/{m}/{s}` only in NEW" for t, m, s in report.added_rows),
+    ]
+    if notes:
+        lines.append("")
+        lines += [f"- {note}" for note in notes]
     return "\n".join(lines)

@@ -71,11 +71,25 @@ def _add_common_options(p):
         ),
     )
     p.add_argument(
+        "--kernels",
+        default=None,
+        choices=["loop", "vectorized", "numba"],
+        help=(
+            "kernel backend for the hot phases (matching, FM refinement, "
+            "contraction): 'loop' is the bit-exact reference, "
+            "'vectorized' the whole-array NumPy kernels, 'numba' the "
+            "optional jitted kernels with per-phase fallback "
+            "numba->vectorized->loop; overrides REPRO_KERNELS "
+            "(see docs/PERFORMANCE.md)"
+        ),
+    )
+    p.add_argument(
         "--matching-impl",
         default="loop",
-        choices=["loop", "vectorized"],
+        choices=["loop", "vectorized", "numba"],
         help=(
-            "matching kernel: 'loop' reproduces the paper's sequential "
+            "legacy matching-phase-only kernel switch, honoured when "
+            "--kernels is unset: 'loop' reproduces the paper's sequential "
             "scan, 'vectorized' runs the batched proposal rounds "
             "(see docs/PERFORMANCE.md)"
         ),
@@ -138,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the whole-program lint pass (RP001-RP016, docs/ANALYSIS.md)",
+        help="run the whole-program lint pass (RP001-RP017, docs/ANALYSIS.md)",
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -211,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="also list non-regressed cells",
     )
+    p.add_argument(
+        "--markdown", action="store_true",
+        help=(
+            "emit the report as a GitHub-flavored markdown table "
+            "(for $GITHUB_STEP_SUMMARY)"
+        ),
+    )
     return parser
 
 
@@ -246,6 +267,7 @@ def _options_from(args):
         deadline=args.deadline,
         max_init_retries=args.max_retries,
         trace=args.trace,
+        kernels=args.kernels,
         matching_impl=args.matching_impl,
         workers=args.workers,
     )
@@ -355,7 +377,10 @@ def _cmd_bench_diff(args) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(regress.format_report(report, verbose=args.verbose))
+    if args.markdown:
+        print(regress.format_markdown(report, verbose=args.verbose))
+    else:
+        print(regress.format_report(report, verbose=args.verbose))
     if args.fail_on_regress and not report.ok:
         return 1
     return 0

@@ -15,13 +15,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.sanitize import sanitizer
-from repro.core.matching import compute_matching, matching_stats
+from repro.core.matching import matching_stats
 from repro.core.options import DEFAULT_OPTIONS, MatchingScheme
+from repro.kernels import resolve_kernels
 from repro.obs.tracer import NULL_SPAN
 from repro.graph.contract import (
     coarse_map_from_matching,
     collapsed_edge_weight,
-    contract,
 )
 from repro.utils.rng import as_generator
 
@@ -66,7 +66,7 @@ class CoarseningHierarchy:
 
 def coarsen(
     graph, options=DEFAULT_OPTIONS, rng=None, *, faults=None, report=None,
-    span=None,
+    span=None, kernels=None,
 ) -> CoarseningHierarchy:
     """Run the coarsening phase on ``graph``.
 
@@ -92,7 +92,11 @@ def coarsen(
     span:
         Optional open tracer span (the ``CTime`` phase span); when truthy a
         ``coarsen.level`` event is emitted per level with the coarse sizes
-        and the :func:`~repro.core.matching.matching_stats` summary.
+        and the :func:`~repro.core.matching.matching_stats` summary, and
+        the selected matching/contract backends are recorded on the span.
+    kernels:
+        Pre-resolved :class:`repro.kernels.KernelSelection` threaded by the
+        driver; resolved from ``options`` when omitted.
 
     Returns
     -------
@@ -100,6 +104,19 @@ def coarsen(
     """
     rng = as_generator(rng if rng is not None else options.seed)
     san = sanitizer(options)
+    if kernels is None:
+        kernels = resolve_kernels(options)
+    matching_kernel = kernels.kernel("matching")
+    contract_kernel = kernels.kernel("contract")
+    matching_impl = kernels.backend("matching")
+    if span:
+        span.set(
+            matching_kernel=matching_impl,
+            contract_kernel=kernels.backend("contract"),
+        )
+        fallbacks = kernels.as_dict().get("fallbacks")
+        if fallbacks:
+            span.set(kernel_fallbacks=fallbacks)
     hierarchy = CoarseningHierarchy(graphs=[graph], cmaps=[])
     current = graph
     cewgt = None
@@ -127,15 +144,12 @@ def coarsen(
                 level=level,
                 nvtxs=current.nvtxs,
                 scheme=MatchingScheme(options.matching).value,
-                impl=options.matching_impl,
+                impl=matching_impl,
             )
             if span
             else NULL_SPAN
         ):
-            match = compute_matching(
-                current, options.matching, rng, cewgt,
-                impl=options.matching_impl,
-            )
+            match = matching_kernel(current, options.matching, rng, cewgt)
         if san:
             san.check_matching(current, match, level=level)
         cmap, ncoarse = coarse_map_from_matching(match)
@@ -151,7 +165,7 @@ def coarsen(
             break  # matching stalled; further levels would spin
         if options.matching is MatchingScheme.HCM:
             cewgt = collapsed_edge_weight(current, cmap, ncoarse, cewgt)
-        coarse = contract(current, cmap, ncoarse)
+        coarse = contract_kernel(current, cmap, ncoarse)
         if san:
             san.check_contraction(current, coarse, cmap, level=level)
         hierarchy.graphs.append(coarse)

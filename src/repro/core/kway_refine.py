@@ -30,8 +30,76 @@ import numpy as np
 from repro.analysis.sanitize import sanitizer
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.partition import KWayPartition, edge_cut, part_weights
+from repro.kernels import kway_kernel, resolve_kernels
 from repro.obs.tracer import resolve_tracer
 from repro.utils.rng import as_generator
+
+
+def _python_sweep(graph, where, pwgts, maxpwgt, k, order):
+    """One boundary sweep over ``order``; returns ``(moved, pass_gain)``.
+
+    The reference (``loop``) k-way sweep kernel: applies the best
+    admissible move per candidate, updating ``where``/``pwgts`` in place.
+    The jitted backend (:func:`repro.kernels.numba_backend.kway_sweep_numba`)
+    is move-for-move identical.
+    """
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    moved = 0
+    pass_gain = 0
+    for v in order:
+        v = int(v)
+        s, e = xadj[v], xadj[v + 1]
+        nbr_parts = where[adjncy[s:e]]
+        my = where[v]
+        must_repair = pwgts[my] > maxpwgt
+        if not must_repair and not np.any(nbr_parts != my):
+            continue  # became interior earlier this pass
+        # Edge weight of v toward each adjacent part.  Gains stay in
+        # exact integer arithmetic: the running cut is maintained
+        # incrementally and must never drift, so the per-part sums
+        # accumulate in int64 (bincount's float64 weights round past
+        # 2**53).
+        w = adjwgt[s:e]
+        parts, inverse = np.unique(nbr_parts, return_inverse=True)
+        toward = np.zeros(len(parts), dtype=np.int64)
+        np.add.at(toward, inverse, w)
+        my_idx = np.flatnonzero(parts == my)
+        internal = int(toward[my_idx[0]]) if len(my_idx) else 0
+        w_v = int(vwgt[v])
+
+        # Destination candidates: adjacent parts (the only targets a
+        # positive-gain move can have); under repair pressure *every*
+        # part qualifies — a non-adjacent destination costs exactly
+        # ``internal``, which is 0 for an interior-of-nothing vertex.
+        tw_by_part = dict(zip(parts.tolist(), toward.tolist()))
+        dests = range(k) if must_repair else parts.tolist()
+        best_part = -1
+        best_key = None
+        for p in dests:
+            if p == my:
+                continue
+            gain = int(tw_by_part.get(p, 0)) - internal
+            fits = pwgts[p] + w_v <= maxpwgt
+            repairs = must_repair and pwgts[p] + w_v < pwgts[my]
+            if not (fits or repairs):
+                continue
+            # Maximise gain; ties toward the lighter destination.
+            key = (gain, -int(pwgts[p]))
+            if best_key is None or key > best_key:
+                best_part, best_key = int(p), key
+        if best_part == -1:
+            continue
+        best_gain = best_key[0]
+        # Positive-gain moves always; non-positive gains only as
+        # balance repair (the greedy refiner never hill-climbs).
+        if best_gain <= 0 and not must_repair:
+            continue
+        where[v] = best_part
+        pwgts[my] -= w_v
+        pwgts[best_part] += w_v
+        pass_gain += best_gain
+        moved += 1
+    return moved, pass_gain
 
 
 def refine_kway(
@@ -66,10 +134,16 @@ def refine_kway(
     if n == 0 or k < 2:
         return partition
     where = partition.where
-    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
     pwgts = part_weights(graph, where, k)
     maxpwgt = int(np.ceil(options.ubfactor * graph.total_vwgt() / k))
     cut = partition.cut
+
+    # The sweep kernel is selected once per entry; the jitted backend is
+    # move-for-move identical to the Python sweep (same RNG consumption:
+    # one permutation per pass), so any backend yields the same partition.
+    kernels = resolve_kernels(options)
+    sweep = kway_kernel(kernels) or _python_sweep
+    fm_backend = kernels.backend("fm")
 
     from repro.graph.partition import boundary_mask
 
@@ -78,15 +152,15 @@ def refine_kway(
     )
     try:
         with trc.span("kway-refine", nparts=k, cut_in=int(cut)) as sp:
+            if sp:
+                sp.set(kernel=fm_backend if sweep is not _python_sweep else "loop")
             for _ in range(max_passes):
-                moved = 0
-                pass_gain = 0
                 # Only boundary vertices can have positive-gain moves;
                 # vertices of overweight parts are repair candidates whether
                 # or not they sit on the boundary — an interior (or isolated)
                 # vertex is often the *cheapest* one to evict.  Sweep in
-                # random order (O(m) NumPy to find candidates, Python only
-                # on the candidate set).
+                # random order (O(m) NumPy to find candidates, the kernel
+                # only touches the candidate set).
                 cand_mask = boundary_mask(graph, where)
                 heavy = np.flatnonzero(pwgts > maxpwgt)
                 if len(heavy):
@@ -94,61 +168,9 @@ def refine_kway(
                 candidates = np.flatnonzero(cand_mask)
                 if len(candidates) == 0:
                     break
-                for v in candidates[rng.permutation(len(candidates))]:
-                    v = int(v)
-                    s, e = xadj[v], xadj[v + 1]
-                    nbr_parts = where[adjncy[s:e]]
-                    my = where[v]
-                    must_repair = pwgts[my] > maxpwgt
-                    if not must_repair and not np.any(nbr_parts != my):
-                        continue  # became interior earlier this pass
-                    # Edge weight of v toward each adjacent part.  Gains
-                    # stay in exact integer arithmetic: the running cut is
-                    # maintained incrementally and must never drift, so the
-                    # per-part sums accumulate in int64 (bincount's float64
-                    # weights round past 2**53).
-                    w = adjwgt[s:e]
-                    parts, inverse = np.unique(nbr_parts, return_inverse=True)
-                    toward = np.zeros(len(parts), dtype=np.int64)
-                    np.add.at(toward, inverse, w)
-                    my_idx = np.flatnonzero(parts == my)
-                    internal = int(toward[my_idx[0]]) if len(my_idx) else 0
-                    w_v = int(vwgt[v])
-
-                    # Destination candidates: adjacent parts (the only
-                    # targets a positive-gain move can have); under repair
-                    # pressure *every* part qualifies — a non-adjacent
-                    # destination costs exactly ``internal``, which is 0
-                    # for an interior-of-nothing vertex.
-                    tw_by_part = dict(zip(parts.tolist(), toward.tolist()))
-                    dests = range(k) if must_repair else parts.tolist()
-                    best_part = -1
-                    best_key = None
-                    for p in dests:
-                        if p == my:
-                            continue
-                        gain = int(tw_by_part.get(p, 0)) - internal
-                        fits = pwgts[p] + w_v <= maxpwgt
-                        repairs = must_repair and pwgts[p] + w_v < pwgts[my]
-                        if not (fits or repairs):
-                            continue
-                        # Maximise gain; ties toward the lighter destination.
-                        key = (gain, -int(pwgts[p]))
-                        if best_key is None or key > best_key:
-                            best_part, best_key = int(p), key
-                    if best_part == -1:
-                        continue
-                    best_gain = best_key[0]
-                    # Positive-gain moves always; non-positive gains only as
-                    # balance repair (the greedy refiner never hill-climbs).
-                    if best_gain <= 0 and not must_repair:
-                        continue
-                    where[v] = best_part
-                    pwgts[my] -= w_v
-                    pwgts[best_part] += w_v
-                    pass_gain += best_gain
-                    cut -= best_gain
-                    moved += 1
+                order = candidates[rng.permutation(len(candidates))]
+                moved, pass_gain = sweep(graph, where, pwgts, maxpwgt, k, order)
+                cut -= pass_gain
                 if sp:
                     sp.event(
                         "kway.pass",

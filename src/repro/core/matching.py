@@ -143,29 +143,36 @@ _SCHEMES = {
 }
 
 
-def compute_matching(graph, scheme, rng=None, cewgt=None, impl="loop") -> np.ndarray:
-    """Dispatch to the matching scheme named by ``scheme``.
+def loop_matching(graph, scheme, rng=None, cewgt=None) -> np.ndarray:
+    """The reference per-vertex matching kernel for ``scheme``.
 
-    ``impl`` selects the kernel: ``"loop"`` is the per-vertex visitation
-    loop above (bit-exact with the paper's published runs); ``"vectorized"``
-    is the batched proposal-round kernel of
-    :mod:`repro.perf.matching_vec` — same scheme semantics and the same
-    validity/maximality guarantees, different deterministic tie-breaking.
+    This is the ``loop`` backend's matching kernel in the
+    :mod:`repro.kernels` registry — bit-exact with the paper's published
+    runs and the terminal fallback of every backend chain.
     """
     scheme = MatchingScheme(scheme)
-    if impl == "vectorized":
-        from repro.perf.matching_vec import vectorized_matching
-
-        return vectorized_matching(graph, scheme, rng, cewgt)
-    if impl != "loop":
-        from repro.utils.errors import ConfigurationError
-
-        raise ConfigurationError(
-            f"unknown matching impl {impl!r}; expected 'loop' or 'vectorized'"
-        )
     if scheme is MatchingScheme.HCM:
         return hcm_matching(graph, rng, cewgt)
     return _SCHEMES[scheme](graph, rng)
+
+
+def compute_matching(graph, scheme, rng=None, cewgt=None, impl="loop") -> np.ndarray:
+    """Dispatch to the matching scheme named by ``scheme``.
+
+    ``impl`` names a kernel backend in the :mod:`repro.kernels` registry:
+    ``"loop"`` is the per-vertex visitation loop above (bit-exact with the
+    paper's published runs); ``"vectorized"`` is the batched
+    proposal-round kernel; ``"numba"`` the jitted loop (falling back to
+    ``vectorized`` → ``loop`` when numba is unavailable).  All backends
+    satisfy the same validity/maximality oracles; only ``loop`` is
+    bit-exact with the published runs.
+    """
+    scheme = MatchingScheme(scheme)
+    if impl == "loop":
+        return loop_matching(graph, scheme, rng, cewgt)
+    from repro.kernels import matching_kernel_for
+
+    return matching_kernel_for(impl)(graph, scheme, rng, cewgt)
 
 
 def matching_stats(graph, match) -> dict:

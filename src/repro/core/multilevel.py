@@ -28,6 +28,7 @@ from repro.core.initial import initial_bisection
 from repro.core.options import DEFAULT_OPTIONS, InitialScheme, RefinePolicy
 from repro.core.refine import PassStats, refine_bisection
 from repro.graph.partition import Bisection, part_weights
+from repro.kernels import resolve_kernels
 from repro.obs.tracer import resolve_tracer
 from repro.resilience.deadline import DeadlineGuard
 from repro.resilience.faults import fault_injector
@@ -60,6 +61,12 @@ class MultilevelResult:
     resilience:
         Audit trail of every fallback, retry, degradation and stall that
         fired during the run (empty on a clean run).
+    kernels:
+        The resolved per-phase kernel backends
+        (:meth:`repro.kernels.KernelSelection.as_dict`): the requested
+        backend, the backend each phase actually ran on, and the reason
+        for any fallback — so bench snapshots and traces always say
+        which kernel produced each number.
     """
 
     bisection: Bisection
@@ -69,6 +76,7 @@ class MultilevelResult:
     initial_cut: int
     stats: PassStats = field(default_factory=PassStats)
     resilience: ResilienceReport = field(default_factory=ResilienceReport)
+    kernels: dict = field(default_factory=dict)
 
 
 def project_where(where_coarse, cmap) -> np.ndarray:
@@ -223,6 +231,10 @@ def bisect(
         int(np.ceil(options.ubfactor * target1)),
     )
 
+    # One selection per driver entry: the env knob is read and the numba
+    # probe run here, never in the per-level hot paths.
+    kernels = resolve_kernels(options)
+
     trc, owned_trace = resolve_tracer(
         tracer, options, run="bisect", nvtxs=graph.nvtxs, nedges=graph.nedges
     )
@@ -231,7 +243,8 @@ def bisect(
         if hierarchy is None:
             with timers.phase("CTime"), trc.span("coarsen", phase="CTime") as sp:
                 hierarchy = coarsen(
-                    graph, options, rng, faults=faults, report=report, span=sp
+                    graph, options, rng, faults=faults, report=report, span=sp,
+                    kernels=kernels,
                 )
         coarsest = hierarchy.coarsest
         _checkpoint(guard, faults, report, hierarchy, None, hierarchy.nlevels - 1, "coarsen")
@@ -273,6 +286,7 @@ def bisect(
                 original_nvtxs=graph.nvtxs,
                 stats=stats,
                 span=sp,
+                kernels=kernels,
             )
         _checkpoint(guard, faults, report, hierarchy, bisection, coarsest_level, "initial")
         for level in range(hierarchy.nlevels - 2, -1, -1):
@@ -307,6 +321,7 @@ def bisect(
                     original_nvtxs=graph.nvtxs,
                     stats=stats,
                     span=sp,
+                    kernels=kernels,
                 )
             _checkpoint(guard, faults, report, hierarchy, bisection, level, "refine")
 
@@ -324,6 +339,7 @@ def bisect(
             initial_cut=initial_cut,
             stats=stats,
             resilience=report,
+            kernels=kernels.as_dict(),
         )
     finally:
         if owned_trace:

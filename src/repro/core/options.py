@@ -89,13 +89,26 @@ class MultilevelOptions:
     gain_table:
         ``"heap"`` (lazy binary heap, default) or ``"bucket"`` (the
         classical FM bucket array — O(1) operations, gain-range memory).
+    kernels:
+        Kernel backend for the three hot phases (matching, FM gain
+        maintenance, contraction), dispatched through the
+        :mod:`repro.kernels` registry: ``"loop"`` (bit-exact reference),
+        ``"vectorized"`` (whole-array NumPy) or ``"numba"`` (optional
+        ``@njit`` kernels; falls back per phase along
+        ``numba → vectorized → loop`` when numba is absent or a phase
+        has no jitted implementation).  ``None`` (the default) defers to
+        the ``REPRO_KERNELS`` environment variable, then to
+        ``matching_impl``, then to ``"loop"`` everywhere.  The resolved
+        per-phase selection lands in ``MultilevelResult.kernels``.
     matching_impl:
-        Matching-kernel implementation: ``"loop"`` (default) is the
-        per-vertex visitation loop that reproduces the paper's published
-        runs bit-for-bit; ``"vectorized"`` is the batched proposal-round
-        kernel in :mod:`repro.perf.matching_vec` — same schemes, same
-        validity/maximality guarantees, different (still deterministic)
-        tie-breaking, and several times faster on large graphs.
+        Legacy matching-phase-only switch, kept for compatibility (and
+        honoured only when ``kernels`` is unset): ``"loop"`` (default)
+        is the per-vertex visitation loop that reproduces the paper's
+        published runs bit-for-bit; ``"vectorized"`` is the batched
+        proposal-round kernel — same schemes, same validity/maximality
+        guarantees, different (still deterministic) tie-breaking, and
+        several times faster on large graphs; ``"numba"`` selects the
+        jitted matching kernel when available.
     workers:
         Process count for fanning the independent subgraph branches of
         recursive bisection (:func:`repro.core.kway.partition`) and MLND
@@ -152,6 +165,7 @@ class MultilevelOptions:
     bklgr_boundary_fraction: float = 0.02
     eager_gains: bool = False
     gain_table: str = "heap"
+    kernels: str | None = None
     matching_impl: str = "loop"
     workers: int | None = None
     seed: int = 4242
@@ -178,9 +192,17 @@ class MultilevelOptions:
             raise ConfigurationError("trial counts must be positive")
         if self.gain_table not in ("heap", "bucket"):
             raise ConfigurationError("gain_table must be 'heap' or 'bucket'")
-        if self.matching_impl not in ("loop", "vectorized"):
+        if self.kernels is not None and self.kernels not in (
+            "loop",
+            "vectorized",
+            "numba",
+        ):
             raise ConfigurationError(
-                "matching_impl must be 'loop' or 'vectorized'"
+                "kernels must be 'loop', 'vectorized' or 'numba' when set"
+            )
+        if self.matching_impl not in ("loop", "vectorized", "numba"):
+            raise ConfigurationError(
+                "matching_impl must be 'loop', 'vectorized' or 'numba'"
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError("workers must be >= 1 when set")

@@ -338,6 +338,7 @@ def refine_bisection(
     original_nvtxs=None,
     stats=None,
     span=None,
+    kernels=None,
 ) -> Bisection:
     """Refine ``bisection`` in place according to ``policy``.
 
@@ -350,7 +351,13 @@ def refine_bisection(
         this graph's size (i.e. flat refinement).
     span:
         Optional open tracer span; annotated with the resolved policy and
-        forwarded to :func:`fm_pass` for per-pass events.
+        the selected FM kernel backend, and forwarded to the pass kernel
+        for per-pass events.
+    kernels:
+        Pre-resolved :class:`repro.kernels.KernelSelection` threaded by
+        the driver; resolved from ``options`` when omitted.  The ``fm``
+        phase selects the pass kernel: :func:`fm_pass` for ``loop``, the
+        jitted bucket-array pass for ``numba``.
 
     Returns
     -------
@@ -372,6 +379,12 @@ def refine_bisection(
     cut = bisection.cut
     x = options.kl_early_exit
     san = sanitizer(options)
+    if kernels is None:
+        from repro.kernels import resolve_kernels
+
+        kernels = resolve_kernels(options)
+    pass_kernel = kernels.kernel("fm")
+    fm_backend = kernels.backend("fm")
 
     if policy is RefinePolicy.BKLGR:
         ed, _ = external_internal_degrees(graph, where)
@@ -386,11 +399,14 @@ def refine_bisection(
     multi_pass = policy in (RefinePolicy.KLR, RefinePolicy.BKLR)
 
     if span:
-        span.set(policy=policy.value, nvtxs=graph.nvtxs, cut_in=cut)
+        span.set(
+            policy=policy.value, nvtxs=graph.nvtxs, cut_in=cut,
+            kernel=fm_backend,
+        )
 
     passes = options.max_kl_passes if multi_pass else 1
     for _ in range(passes):
-        cut, improvement = fm_pass(
+        cut, improvement = pass_kernel(
             graph,
             where,
             pwgts,

@@ -52,6 +52,30 @@ def coarse_map_from_matching(match) -> tuple[np.ndarray, int]:
     return cmap, int(is_leader.sum())
 
 
+def merge_sorted_coarse_edges(cu, cv, w, ncoarse):
+    """Merge duplicate runs of *sorted* directed coarse edges into CSR form.
+
+    ``(cu, cv, w)`` must be sorted so equal ``(cu, cv)`` pairs are
+    contiguous and ``cu`` is non-decreasing (any such order gives the same
+    result: duplicate weights merge by int64 summation, which is
+    order-independent).  Returns ``(xadj, adjncy, adjwgt)`` for the coarse
+    graph.  Shared by the reference kernel below and the fused-key
+    vectorized kernel in :mod:`repro.kernels.vec_backend`.
+    """
+    new_run = np.empty(len(cu), dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (cu[1:] != cu[:-1]) | (cv[1:] != cv[:-1])
+    starts = np.flatnonzero(new_run)
+    mu = cu[starts]
+    mv = cv[starts]
+    mw = np.add.reduceat(w, starts)
+
+    counts = np.bincount(mu, minlength=ncoarse)
+    xadj = np.zeros(ncoarse + 1, dtype=np.int64)
+    np.cumsum(counts, out=xadj[1:])
+    return xadj, mv.astype(INDEX_DTYPE), mw.astype(WEIGHT_DTYPE)
+
+
 def contract(graph, cmap, ncoarse) -> CSRGraph:
     """Contract ``graph`` according to the coarse map ``cmap``.
 
@@ -81,34 +105,18 @@ def contract(graph, cmap, ncoarse) -> CSRGraph:
             cvwgt,
             validate=False,
         )
-        _propagate_coords(graph, coarse, cmap, ncoarse, cvwgt)
+        propagate_coords(graph, coarse, cmap, ncoarse, cvwgt)
         return coarse
 
     order = np.lexsort((cv, cu))
     cu, cv, w = cu[order], cv[order], w[order]
-    new_run = np.empty(len(cu), dtype=bool)
-    new_run[0] = True
-    new_run[1:] = (cu[1:] != cu[:-1]) | (cv[1:] != cv[:-1])
-    starts = np.flatnonzero(new_run)
-    mu = cu[starts]
-    mv = cv[starts]
-    mw = np.add.reduceat(w, starts)
-
-    counts = np.bincount(mu, minlength=ncoarse)
-    xadj = np.zeros(ncoarse + 1, dtype=np.int64)
-    np.cumsum(counts, out=xadj[1:])
-    coarse = CSRGraph(
-        xadj,
-        mv.astype(INDEX_DTYPE),
-        mw.astype(WEIGHT_DTYPE),
-        cvwgt,
-        validate=False,
-    )
-    _propagate_coords(graph, coarse, cmap, ncoarse, cvwgt)
+    xadj, cadjncy, cadjwgt = merge_sorted_coarse_edges(cu, cv, w, ncoarse)
+    coarse = CSRGraph(xadj, cadjncy, cadjwgt, cvwgt, validate=False)
+    propagate_coords(graph, coarse, cmap, ncoarse, cvwgt)
     return coarse
 
 
-def _propagate_coords(graph, coarse, cmap, ncoarse, cvwgt) -> None:
+def propagate_coords(graph, coarse, cmap, ncoarse, cvwgt) -> None:
     """Carry coordinates to the coarse graph as weighted centroids.
 
     Keeps geometric methods usable on coarse graphs (used by the geometric

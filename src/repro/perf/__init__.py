@@ -1,17 +1,15 @@
-"""Performance kernels and process-parallel execution helpers.
+"""Process-parallel execution helpers (and kernel back-compat shims).
 
-This package holds the "fast path" counterparts of the reference
-implementations in :mod:`repro.core`:
-
-* :mod:`repro.perf.matching_vec` — batched proposal-round rewrites of the
-  four §3.1 matching schemes (RM/HEM/LEM/HCM).  Selected with
-  ``MultilevelOptions.matching_impl = "vectorized"``; the legacy per-vertex
-  loop stays the default for bit-exact reproduction of the paper's runs.
 * :mod:`repro.perf.workers` — ``ProcessPoolExecutor`` plumbing for fanning
   the independent subgraph branches of recursive bisection and nested
   dissection across processes (``MultilevelOptions.workers`` /
   ``REPRO_WORKERS`` / ``--workers``), with per-branch child RNGs seeded so
   ``workers=N`` is bit-identical to ``workers=1``.
+* :mod:`repro.perf.matching_vec` — back-compat shim: the vectorized
+  matching kernel now lives in the :mod:`repro.kernels` registry (the
+  ``vectorized`` backend), selected with ``options.kernels`` /
+  ``REPRO_KERNELS`` / ``--kernels`` or the legacy
+  ``matching_impl="vectorized"``.
 
 Everything here is *semantics-preserving by construction*: the vectorized
 kernels satisfy the same validity/maximality oracles as the loop kernels
@@ -20,7 +18,7 @@ kernels satisfy the same validity/maximality oracles as the loop kernels
 never changes a partition vector, cut value or ordering permutation.
 """
 
-from repro.perf.matching_vec import vectorized_matching
+from repro.kernels import vectorized_matching
 from repro.perf.workers import branch_executor, fan_depth_for, resolve_workers
 
 __all__ = [

@@ -1,4 +1,4 @@
-"""Tests for the whole-program dataflow checkers (RP012 … RP016).
+"""Tests for the whole-program dataflow checkers (RP012 … RP017).
 
 One positive (seeded synthetic violation) and one negative (blessed
 idiom) fixture per rule, plus the PR-4 regression demonstration: deleting
@@ -431,6 +431,129 @@ class TestRP016WorkerAmbientState:
             select="RP016",
         )
         assert findings == []
+
+
+class TestRP017KernelHygiene:
+    def test_backend_import_outside_kernels_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/kernels/__init__.py": "__all__ = []\n",
+                "pkg/kernels/vec_backend.py": "def kernel():\n    return 0\n",
+                "pkg/core/coarsen.py": (
+                    "from pkg.kernels.vec_backend import kernel\n"
+                    "\n"
+                    "\n"
+                    "def coarsen(graph):\n"
+                    "    return kernel()\n"
+                ),
+            },
+            select="RP017",
+        )
+        assert len(findings) == 1
+        assert "vec_backend" in findings[0].message
+        assert findings[0].path.endswith("coarsen.py")
+
+    def test_backend_submodule_from_import_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/kernels/__init__.py": "__all__ = []\n",
+                "pkg/kernels/vec_backend.py": "def kernel():\n    return 0\n",
+                "pkg/core/coarsen.py": (
+                    "from pkg.kernels import vec_backend\n"
+                    "\n"
+                    "\n"
+                    "def coarsen(graph):\n"
+                    "    return vec_backend.kernel()\n"
+                ),
+            },
+            select="RP017",
+        )
+        assert len(findings) == 1
+        assert "vec_backend" in findings[0].message
+
+    def test_registry_import_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/kernels/__init__.py": (
+                    "__all__ = ['resolve']\n"
+                    "\n"
+                    "\n"
+                    "def resolve():\n"
+                    "    from pkg.kernels import vec_backend\n"
+                    "\n"
+                    "    return vec_backend.kernel\n"
+                ),
+                "pkg/kernels/vec_backend.py": "def kernel():\n    return 0\n",
+                "pkg/core/coarsen.py": (
+                    "from pkg.kernels import resolve\n"
+                    "\n"
+                    "\n"
+                    "def coarsen(graph):\n"
+                    "    return resolve()(graph)\n"
+                ),
+            },
+            select="RP017",
+        )
+        assert findings == []
+
+    def test_top_level_numba_import_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/kernels/__init__.py": "__all__ = []\n",
+                "pkg/kernels/numba_backend.py": (
+                    "from numba import njit\n"
+                    "\n"
+                    "\n"
+                    "@njit\n"
+                    "def kernel():\n"
+                    "    return 0\n"
+                ),
+            },
+            select="RP017",
+        )
+        assert len(findings) == 1
+        assert "numba" in findings[0].message
+        assert "lazily" in findings[0].message
+
+    def test_lazy_numba_import_is_clean(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/kernels/__init__.py": "__all__ = []\n",
+                "pkg/kernels/numba_backend.py": (
+                    "def compile_kernel(fn):\n"
+                    "    from numba import njit\n"
+                    "\n"
+                    "    return njit(fn)\n"
+                    "\n"
+                    "\n"
+                    "def available():\n"
+                    "    try:\n"
+                    "        import numba  # noqa: F401\n"
+                    "    except ImportError:\n"
+                    "        return False\n"
+                    "    return True\n"
+                ),
+            },
+            select="RP017",
+        )
+        assert findings == []
+
+    def test_shipped_tree_has_no_top_level_numba_import(self):
+        """No module under src/repro may import numba eagerly — the suite
+        must run (with transparent fallback) on machines without it."""
+        findings = [
+            f
+            for f in lint_paths(
+                [REPO_ROOT / "src" / "repro"], paper=REPO_ROOT / "PAPER.md"
+            )
+            if f.rule_id == "RP017"
+        ]
+        assert findings == [], format_findings(findings)
 
 
 class TestPartWeightsRevertRegression:

@@ -281,4 +281,4 @@ class TestShippedTree:
 
     def test_default_rules_cover_rp001_to_rp016(self):
         ids = [r.id for r in default_rules()]
-        assert ids == [f"RP{i:03d}" for i in range(1, 17)]
+        assert ids == [f"RP{i:03d}" for i in range(1, 18)]

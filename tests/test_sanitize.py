@@ -284,16 +284,20 @@ class TestEndToEnd:
         boundary must catch it and name the matching phase."""
         real = compute_matching
 
-        def corrupted(graph, scheme, rng, cewgt=None, impl="loop"):
-            match = real(graph, scheme, rng, cewgt, impl=impl).copy()
+        def corrupted(graph, scheme, rng, cewgt=None):
+            match = real(graph, scheme, rng, cewgt).copy()
             matched = np.flatnonzero(match != np.arange(graph.nvtxs))
             if len(matched) >= 2:
                 match[int(matched[0])] = int(matched[0])  # break involution's mate
             return match
 
-        coarsen_mod = sys.modules["repro.core.coarsen"]
+        # Coarsening pulls the matching kernel through the repro.kernels
+        # registry; injecting into its kernel cache corrupts exactly what
+        # the phase driver will run.
+        import repro.kernels as kernels_mod
+
         with pytest.MonkeyPatch.context() as mp:
-            mp.setattr(coarsen_mod, "compute_matching", corrupted)
+            mp.setitem(kernels_mod._KERNEL_CACHE, ("loop", "matching"), corrupted)
             with pytest.raises(SanitizerError) as exc:
                 coarsen(grid16, DEFAULT_OPTIONS, np.random.default_rng(0))
         assert exc.value.phase == "matching"
