@@ -43,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "whole-program lint pass enforcing the repro codebase idioms "
-            "(RP001-RP016; see docs/ANALYSIS.md)"
+            "(RP001-RP018; see docs/ANALYSIS.md)"
         ),
     )
     parser.add_argument(

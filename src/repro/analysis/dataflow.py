@@ -1,6 +1,6 @@
-"""Dataflow checkers over the project model: RP012 … RP017.
+"""Dataflow checkers over the project model: RP012 … RP018.
 
-Three checker families, all built on the :mod:`~repro.analysis.project`
+Four checker families, all built on the :mod:`~repro.analysis.project`
 symbol table and the :mod:`~repro.analysis.callgraph` call graph:
 
 **dtype/overflow lattice (RP012, RP013).**  The pipeline's correctness
@@ -32,6 +32,15 @@ seeding (RP016).  Such mutations are applied in a pool worker's copy of
 the interpreter under ``workers=N`` but in the driver's under
 ``workers=1``, so the two configurations silently diverge.
 
+**worker exception hygiene (RP018).**  Everything a pool branch raises
+travels back through the executor's pickled result pipe.  A builtin
+exception punches a hole in the ``except ReproError`` contract the
+supervisor relies on; a project exception whose ``__init__`` has
+required keyword-only parameters and whose class chain defines no
+``__reduce__`` cannot be unpickled at all — the default reduction
+re-calls ``cls(*args)`` and the parent sees a broken pool instead of
+the library error.  RP018 flags both in worker-reachable code.
+
 Findings carry a **call-path trace** (``partition → _recurse →
 part_weights``) computed from the call graph, rendered by the reporting
 layer both in text and as SARIF ``relatedLocations``.
@@ -52,8 +61,53 @@ __all__ = [
     "WorkerPurityRule",
     "WorkerAmbientStateRule",
     "KernelHygieneRule",
+    "WorkerExceptionRule",
+    "BUILTIN_EXCEPTIONS",
+    "PROTOCOL_EXCEPTIONS",
     "is_weight_name",
 ]
+
+# --------------------------------------------------------------------------
+# Shared exception model (also used by RP005 in rules.py).
+
+#: Builtins that legitimately signal *programming* errors per Python
+#: protocol (attribute lookup, argument types, abstract methods) and are
+#: therefore exempt from RP005 and RP018.
+PROTOCOL_EXCEPTIONS = frozenset(
+    {"TypeError", "AttributeError", "NotImplementedError", "StopIteration"}
+)
+
+#: Builtin exception names whose raise sites RP005 (per-file) and RP018
+#: (worker-reachable code) flag.
+BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "FloatingPointError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "ReferenceError",
+        "RuntimeError",
+        "SystemError",
+        "UnboundLocalError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
 
 # --------------------------------------------------------------------------
 # Shared RNG API model (also used by RP001 in rules.py).
@@ -1132,6 +1186,186 @@ class KernelHygieneRule(ProjectRule):
             )
 
 
+# --------------------------------------------------------------------------
+# RP018 — worker exception hygiene.
+
+#: Resolution depth bound for base-class and re-export chains.
+_MAX_CLASS_DEPTH = 10
+
+
+class WorkerExceptionRule(ProjectRule):
+    """RP018 — worker-raised exceptions must survive the pool result pipe.
+
+    Everything a ``workers=N`` branch job raises is pickled by the
+    executor, shipped through the result pipe, and re-raised in the
+    parent — where :class:`~repro.resilience.supervisor.BranchSupervisor`
+    decides whether the branch failed cleanly (a library error, re-raise
+    it) or the worker died (retry, then degrade).  Two raise patterns
+    break that channel:
+
+    * a **builtin exception** escapes the ``except ReproError`` contract
+      (RP005's concern), which in worker-reachable code means the
+      supervisor cannot tell a library failure from worker damage;
+    * a **project exception whose ``__init__`` has required keyword-only
+      parameters** and whose class chain defines no ``__reduce__``
+      cannot be unpickled at all: the default reduction re-calls
+      ``cls(*args)``, the re-call raises ``TypeError`` inside the result
+      pipe, and the parent observes a broken pool instead of the error —
+      exactly how ``SanitizerError(phase=...)`` used to vanish before
+      ``ReproError`` grew its ``__reduce__``.
+    """
+
+    id = "RP018"
+    name = "worker-exception"
+    summary = "worker-raised exception cannot cross the pool result pipe"
+    doc = (
+        "Worker-reachable code must raise exceptions that survive the "
+        "pool result pipe: `ReproError` subclasses (not builtins), and "
+        "never a class whose `__init__` has required keyword-only "
+        "parameters without a `__reduce__` in its class chain — the "
+        "default exception reduction re-calls `cls(*args)`, fails to "
+        "unpickle, and the parent sees a broken pool instead of the "
+        "library error."
+    )
+
+    def check_project(self, ctx):
+        classes = self._class_index(ctx)
+        seen = set()
+        for qual, info, module in _walk_worker_functions(ctx):
+            path = tuple(ctx.graph.display_path(qual))
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                expr = node.exc
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                key = (str(module.path), node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                finding = self._check_raise(ctx, classes, module, node, expr, path)
+                if finding is not None:
+                    seen.add(key)
+                    yield finding
+
+    def _check_raise(self, ctx, classes, module, node, expr, path):
+        name = expr.attr if isinstance(expr, ast.Attribute) else (
+            expr.id if isinstance(expr, ast.Name) else None
+        )
+        if name is None:
+            return None
+        if name in BUILTIN_EXCEPTIONS and name not in PROTOCOL_EXCEPTIONS:
+            return ctx.finding(
+                module,
+                node,
+                self.id,
+                f"worker-reachable code raises builtin {name}; a pool "
+                "branch must fail with a ReproError subclass so the "
+                "supervisor can tell a library error from worker damage",
+                trace=path,
+            )
+        qual = self._class_qual(ctx, classes, expr, module)
+        if qual is None or qual not in classes:
+            return None
+        problem = self._pickle_problem(ctx, classes, qual)
+        if problem is None:
+            return None
+        return ctx.finding(
+            module,
+            node,
+            self.id,
+            f"worker-reachable code raises {qual.rsplit('.', 1)[-1]}, "
+            f"whose __init__ requires keyword-only {problem} but whose "
+            "class chain defines no __reduce__; the default exception "
+            "reduction re-calls cls(*args) and fails to unpickle in the "
+            "pool result pipe — the parent sees a broken pool instead "
+            "of the error",
+            trace=path,
+        )
+
+    @staticmethod
+    def _class_index(ctx) -> dict:
+        """``dotted qualname -> (ClassDef, ModuleInfo)`` for top-level classes."""
+        index = {}
+        for module in ctx.project.modules.values():
+            for node in module.by_type(ast.ClassDef):
+                if isinstance(module.parents.get(id(node)), ast.Module):
+                    index[f"{module.name}.{node.name}"] = (node, module)
+        return index
+
+    def _class_qual(self, ctx, classes, expr, module):
+        """Dotted qualname the raised expression refers to, or ``None``."""
+        chain = []
+        cur = expr
+        while isinstance(cur, ast.Attribute):
+            chain.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        chain.append(cur.id)
+        chain.reverse()
+        base = chain[0]
+        if len(chain) == 1 and f"{module.name}.{base}" in classes:
+            return f"{module.name}.{base}"
+        target = module.imports.get(base)
+        if target is None:
+            return None
+        return self._canonical(ctx, classes, ".".join([target] + chain[1:]))
+
+    def _canonical(self, ctx, classes, dotted, depth=0):
+        """Follow re-export chains until ``dotted`` names a class def."""
+        if dotted in classes or depth > _MAX_CLASS_DEPTH or "." not in dotted:
+            return dotted
+        base, leaf = dotted.rsplit(".", 1)
+        mod = ctx.project.modules.get(base)
+        if mod is None:
+            return dotted
+        target = mod.imports.get(leaf)
+        if target is None:
+            return dotted
+        return self._canonical(ctx, classes, target, depth + 1)
+
+    def _chain(self, ctx, classes, qual, depth=0):
+        """Yield ``(ClassDef, ModuleInfo)`` for ``qual`` and visible bases."""
+        entry = classes.get(qual)
+        if entry is None or depth > _MAX_CLASS_DEPTH:
+            return
+        yield entry
+        node, module = entry
+        for base in node.bases:
+            bqual = self._class_qual(ctx, classes, base, module)
+            if bqual is not None:
+                yield from self._chain(ctx, classes, bqual, depth + 1)
+
+    def _pickle_problem(self, ctx, classes, qual):
+        """The required keyword-only params that break pickling, or ``None``.
+
+        Safe when any class in the project-visible chain defines
+        ``__reduce__``/``__reduce_ex__``, or when the governing
+        ``__init__`` (nearest in the chain) has no required keyword-only
+        parameters.  Unresolvable external bases are assumed safe.
+        """
+        governing_init = None
+        for node, _module in self._chain(ctx, classes, qual):
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in ("__reduce__", "__reduce_ex__"):
+                    return None
+                if item.name == "__init__" and governing_init is None:
+                    governing_init = item
+        if governing_init is None:
+            return None
+        a = governing_init.args
+        required = [
+            p.arg
+            for p, default in zip(a.kwonlyargs, a.kw_defaults)
+            if default is None
+        ]
+        if not required:
+            return None
+        return "argument " + ", ".join(repr(n) for n in required)
+
+
 #: The whole-program rule set, in id order (registered by rules.RULES).
 DATAFLOW_RULES = (
     ExactAccumulationRule,
@@ -1140,4 +1374,5 @@ DATAFLOW_RULES = (
     WorkerPurityRule,
     WorkerAmbientStateRule,
     KernelHygieneRule,
+    WorkerExceptionRule,
 )

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RP001`` … ``RP017``).
+"""The repo-specific lint rules (``RP001`` … ``RP018``).
 
 Each rule encodes an idiom this codebase relies on for *correctness* — the
 delicate incremental machinery of the multilevel pipeline fails silently
@@ -38,10 +38,13 @@ RP016     worker-reachable code never mutates ambient process state
 RP017     kernel backend modules are reachable only through the
           :mod:`repro.kernels` registry, and ``numba`` is never
           imported at module level (optional-dependency hygiene)
+RP018     worker-reachable code raises only exceptions that survive
+          the pool result pipe: ``ReproError`` subclasses, never a
+          class that the default exception pickling cannot rebuild
 ========  ============================================================
 
 ``RP001`` … ``RP011`` are per-file rules over one module's AST;
-``RP012`` … ``RP017`` are whole-program rules over the project model and
+``RP012`` … ``RP018`` are whole-program rules over the project model and
 call graph (:mod:`repro.analysis.project`, :mod:`repro.analysis.dataflow`).
 This table is rendered into ``docs/ANALYSIS.md`` by
 :func:`repro.analysis.report.rules_markdown_table` — regenerate with
@@ -57,7 +60,9 @@ import ast
 
 from repro.analysis.engine import Rule
 from repro.analysis.dataflow import (
+    BUILTIN_EXCEPTIONS as _BUILTIN_EXCEPTIONS,
     DATAFLOW_RULES,
+    PROTOCOL_EXCEPTIONS as _PROTOCOL_EXCEPTIONS,
     SEEDED_RANDOM_API as _SEEDED_RANDOM_API,
     is_np_random as _is_np_random,
 )
@@ -66,44 +71,6 @@ __all__ = ["Rule", "default_rules", "RULES", "PER_FILE_RULES", "rule_table"]
 
 #: The CSR array attribute names protected by RP002.
 CSR_ARRAYS = frozenset({"xadj", "adjncy", "adjwgt", "vwgt"})
-
-#: Builtins that legitimately signal *programming* errors per Python
-#: protocol (attribute lookup, argument types, abstract methods) and are
-#: therefore exempt from RP005.
-_PROTOCOL_EXCEPTIONS = frozenset(
-    {"TypeError", "AttributeError", "NotImplementedError", "StopIteration"}
-)
-
-#: Builtin exception names whose raise sites RP005 flags.
-_BUILTIN_EXCEPTIONS = frozenset(
-    {
-        "ArithmeticError",
-        "AssertionError",
-        "BaseException",
-        "BufferError",
-        "EOFError",
-        "Exception",
-        "FileExistsError",
-        "FileNotFoundError",
-        "FloatingPointError",
-        "IOError",
-        "IndexError",
-        "KeyError",
-        "LookupError",
-        "MemoryError",
-        "NameError",
-        "OSError",
-        "OverflowError",
-        "PermissionError",
-        "RecursionError",
-        "ReferenceError",
-        "RuntimeError",
-        "SystemError",
-        "UnboundLocalError",
-        "ValueError",
-        "ZeroDivisionError",
-    }
-)
 
 
 def _operand_name(node):

@@ -105,6 +105,29 @@ def _add_common_options(p):
             "docs/PERFORMANCE.md)"
         ),
     )
+    p.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-branch wall-clock budget for pool workers; a branch that "
+            "exceeds it is retried and eventually demoted to in-process "
+            "sequential execution (overrides REPRO_WORKER_TIMEOUT; see "
+            "docs/RESILIENCE.md)"
+        ),
+    )
+    p.add_argument(
+        "--worker-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "pool resubmissions of a crashed/timed-out branch before it "
+            "degrades to in-process sequential execution (default 2; see "
+            "docs/RESILIENCE.md)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,7 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the whole-program lint pass (RP001-RP017, docs/ANALYSIS.md)",
+        help="run the whole-program lint pass (RP001-RP018, docs/ANALYSIS.md)",
     )
     p.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -270,6 +293,8 @@ def _options_from(args):
         kernels=args.kernels,
         matching_impl=args.matching_impl,
         workers=args.workers,
+        worker_timeout=args.worker_timeout,
+        worker_retries=args.worker_retries,
     )
 
 

@@ -12,11 +12,15 @@ each subproblem an independent RNG stream, *pre-spawned before either side
 runs*, making the result invariant to evaluation order — including
 evaluation in other processes: with ``options.workers`` (or
 ``REPRO_WORKERS``) above 1, the independent branches at the top of the
-recursion tree are fanned across a ``ProcessPoolExecutor`` and the
-partition vector is bit-identical to the sequential run.  Parallel fan-out
-engages only on the clean path (no tracer, fault injector, deadline guard
-or bisector override — those carry process-local state); other
-configurations run sequentially with identical results.
+recursion tree are fanned across a supervised process pool
+(:class:`~repro.resilience.supervisor.BranchSupervisor`) and the
+partition vector is bit-identical to the sequential run.  The supervisor
+bounds each branch wait by ``worker_timeout`` and the remaining deadline
+budget, retries crashed or hung workers, and degrades stubborn branches
+to in-process sequential execution — so a dead worker can cost time but
+never a hang, a leak or a different partition.  Only a caller-supplied
+bisector closure (unpicklable) or a fault spec naming in-process phase
+sites still forces sequential execution, with identical results.
 """
 
 from __future__ import annotations
@@ -31,14 +35,14 @@ from repro.graph.partition import KWayPartition, edge_cut, part_weights
 from repro.obs.tracer import NULL as NULL_TRACER
 from repro.obs.tracer import resolve_tracer
 from repro.perf.workers import (
-    BranchDispatch,
-    branch_executor,
     fan_depth_for,
+    resolve_worker_timeout,
     resolve_workers,
 )
 from repro.resilience.deadline import DeadlineGuard
-from repro.resilience.faults import fault_injector
+from repro.resilience.faults import fault_injector, worker_faults_only
 from repro.resilience.report import ResilienceReport
+from repro.resilience.supervisor import BranchSupervisor
 from repro.utils.errors import (
     DeadlineExceededError,
     PartitionError,
@@ -104,26 +108,34 @@ def partition(
         None, options, run="partition",
         nvtxs=graph.nvtxs, nedges=graph.nedges, nparts=nparts,
     )
-    # Parallel fan-out is restricted to the clean path: a tracer's sink, an
-    # injector's countdowns, a deadline guard's clock and a caller-supplied
-    # bisector closure are all process-local state that cannot be shipped
-    # to (or merged back from) pool workers.  The RNG tree is identical
-    # either way, so sequential and parallel runs are bit-identical.
+    # Parallel fan-out needs picklable branch state: a caller-supplied
+    # bisector closure cannot be shipped to workers, and a fault spec
+    # naming in-process phase sites carries injector countdowns the
+    # workers could not share.  Everything else — tracer, deadline guard,
+    # worker-site faults — is handled by the supervisor in the parent.
+    # The RNG tree is identical either way, so sequential and parallel
+    # runs are bit-identical.
     workers = resolve_workers(options)
     parallel = (
         workers > 1
         and nparts > 1
         and bisector is None
-        and guard is None
-        and not faults
-        and not trc
+        and worker_faults_only(faults)
     )
     try:
         with trc.span("partition", nparts=nparts) as root:
             vmap = np.arange(graph.nvtxs, dtype=np.int64)
             if parallel:
-                with branch_executor(workers) as pool:
-                    par = BranchDispatch(pool, fan_depth_for(workers))
+                with BranchSupervisor(
+                    workers,
+                    fan_depth=fan_depth_for(workers),
+                    timeout=resolve_worker_timeout(options),
+                    guard=guard,
+                    max_retries=options.worker_retries,
+                    report=report,
+                    span=root,
+                    faults=faults,
+                ) as par:
                     _recurse(graph, nparts, 0, where, vmap,
                              options, rng, timers, bisector, faults, report,
                              guard, trc, par=par)
@@ -133,6 +145,14 @@ def partition(
                         where[branch_vmap] = first_part + sub_where
                         for phase_name, seconds in totals.items():
                             timers.add(phase_name, seconds)
+                            if root:
+                                # Splice the worker-measured phase time
+                                # into the span tree so traced workers=N
+                                # runs still reconcile with result.timers.
+                                root.record(
+                                    "worker.phase", seconds,
+                                    phase=phase_name,
+                                )
                         report.merge(sub_report)
             else:
                 _recurse(graph, nparts, 0, where, vmap,
@@ -163,22 +183,25 @@ def _assign_by_weight(graph, k) -> np.ndarray:
     return np.minimum(part, k - 1).astype(np.int32)
 
 
-def _branch_job(graph, k, options, rng):
+def _branch_job(graph, k, options, rng, *, guard=None):
     """Partition one recursion branch in a pool worker.
 
     Runs the same ``_recurse`` with branch-local accumulators (parts are
     numbered from 0; the parent offsets them when merging) and returns
     everything the parent must fold back: the branch partition vector, the
-    phase-timer totals and the resilience events.  Only reached on the
-    clean path, so the injector resolves to the null object, there is no
-    guard, and tracing is off.
+    phase-timer totals and the resilience events.  Tracing is explicitly
+    off (the parent owns the span tree and splices worker timings back as
+    synthetic spans).  ``guard`` is only passed by the supervisor's
+    sequential fallback, which runs this in the *parent* process under
+    the remaining deadline budget; pool submissions never carry one —
+    their time budget is enforced parent-side via future timeouts.
     """
     where = np.zeros(graph.nvtxs, dtype=np.int32)
     timers = PhaseTimer()
     report = ResilienceReport()
     _recurse(graph, k, 0, where, np.arange(graph.nvtxs, dtype=np.int64),
              options, rng, timers, None, fault_injector(options), report,
-             None, NULL_TRACER)
+             guard, NULL_TRACER)
     return where, timers.totals(), report
 
 
@@ -188,8 +211,9 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
 
     ``vmap`` maps this subgraph's vertices to the original graph; ``where``
     is the original-graph partition vector being filled in.  ``par`` (a
-    :class:`~repro.perf.workers.BranchDispatch`) ships whole subtrees at
-    ``depth >= par.fan_depth`` to pool workers instead of recursing.
+    :class:`~repro.resilience.supervisor.BranchSupervisor`) ships whole
+    subtrees at ``depth >= par.fan_depth`` to supervised pool workers
+    instead of recursing.
     """
     if k == 1:
         where[vmap] = first_part
@@ -198,7 +222,14 @@ def _recurse(graph, k, first_part, where, vmap, options, rng, timers, bisector,
         # One vertex per part; no bisection needed (k = n base case).
         where[vmap] = first_part + np.arange(k, dtype=np.int32)
         return
-    if par is not None and depth >= par.fan_depth:
+    if (
+        par is not None
+        and depth >= par.fan_depth
+        and (guard is None or not guard.expired())
+    ):
+        # Workers receive no guard object; their time budget is enforced
+        # parent-side by the supervisor's future timeouts.  An expired
+        # guard skips submission and falls through to cheap assignment.
         par.submit(_branch_job, graph, k, options, rng,
                    meta=(first_part, vmap))
         return

@@ -117,6 +117,19 @@ class MultilevelOptions:
         ``workers=1``.  ``None`` (the default) defers to the
         ``REPRO_WORKERS`` environment variable; when that is also unset,
         everything runs in-process.
+    worker_timeout:
+        Per-branch wall-clock budget in seconds enforced by the branch
+        supervisor (:mod:`repro.resilience.supervisor`) on work shipped
+        to pool workers.  A branch that overruns it is retried and, past
+        ``worker_retries``, re-run sequentially in the parent.  ``None``
+        (the default) defers to the ``REPRO_WORKER_TIMEOUT`` environment
+        variable; when that is also unset, branch waits are bounded only
+        by ``deadline`` (when set).
+    worker_retries:
+        How many times a crashed or timed-out worker branch is retried
+        (with the same pre-seeded RNG stream, so retries stay
+        bit-identical) before the supervisor degrades that branch to
+        in-process sequential execution.
     seed:
         Default RNG seed used when the caller does not supply one.
     sanitize:
@@ -168,6 +181,8 @@ class MultilevelOptions:
     kernels: str | None = None
     matching_impl: str = "loop"
     workers: int | None = None
+    worker_timeout: float | None = None
+    worker_retries: int = 2
     seed: int = 4242
     sanitize: bool = False
     faults: str | None = None
@@ -206,6 +221,10 @@ class MultilevelOptions:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError("workers must be >= 1 when set")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ConfigurationError("worker_timeout must be positive when set")
+        if self.worker_retries < 0:
+            raise ConfigurationError("worker_retries must be >= 0")
         if self.deadline is not None and self.deadline <= 0:
             raise ConfigurationError("deadline must be positive when set")
         if self.max_init_retries < 0:

@@ -25,6 +25,7 @@ from repro.obs.schema import (
     PHASE_KEYS,
     RECORD_KINDS,
     SCHEMA_VERSION,
+    WORKER_EVENT_PREFIX,
     validate_record,
     validate_trace_lines,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "RECORD_KINDS",
     "PHASE_KEYS",
+    "WORKER_EVENT_PREFIX",
     "validate_record",
     "validate_trace_lines",
     "read_trace",

@@ -21,7 +21,11 @@ import platform
 import sys
 from datetime import datetime, timezone
 
-from repro.obs.schema import PHASE_KEYS, validate_trace_lines
+from repro.obs.schema import (
+    PHASE_KEYS,
+    WORKER_EVENT_PREFIX,
+    validate_trace_lines,
+)
 
 __all__ = [
     "read_trace",
@@ -58,10 +62,16 @@ SPAN_PHASES = {
     "kway.branch": "driver",
     "partition": "driver",
     "dissect": "driver",
+    "worker.sequential": "worker",
 }
 
-#: Rollup bucket order: the paper's phase keys, then driver, then other.
-ROLLUP_BUCKETS = (*PHASE_KEYS, "driver", "other")
+#: Rollup bucket order: the paper's phase keys, then driver, then the
+#: branch-supervision bucket, then other.  (Synthetic ``worker.phase``
+#: spans are phase-tagged and land in the phase buckets — they carry the
+#: pool workers' CTime/ITime/RTime/PTime back into the reconciliation;
+#: the ``worker`` bucket holds supervision itself: demoted sequential
+#: re-runs and the ``worker.*`` decision events.)
+ROLLUP_BUCKETS = (*PHASE_KEYS, "driver", "worker", "other")
 
 
 def _rollup_bucket(name: str, fields: dict) -> str:
@@ -88,7 +98,10 @@ def profile(records) -> dict:
       ``count`` and a per-span-name ``spans`` breakdown.  Nested spans
       appear under their own name *and* inside their parent's duration,
       so rollup buckets overlap with ``phases`` by design — ``phases``
-      stays the reconciliation against ``result.timers``;
+      stays the reconciliation against ``result.timers``.  The
+      ``worker`` bucket additionally carries an ``events`` breakdown —
+      the ``worker.*`` supervision decisions (crashes, timeouts,
+      retries, degradations) of the run;
     * ``events`` — per event name: occurrence count;
     * ``counters`` — summed counter values across all counters records.
     """
@@ -96,7 +109,7 @@ def profile(records) -> dict:
     phases = {key: 0.0 for key in PHASE_KEYS}
     spans: dict[str, dict] = {}
     rollup = {
-        bucket: {"total": 0.0, "count": 0, "spans": {}}
+        bucket: {"total": 0.0, "count": 0, "spans": {}, "events": {}}
         for bucket in ROLLUP_BUCKETS
     }
     events: dict[str, int] = {}
@@ -120,7 +133,11 @@ def profile(records) -> dict:
             bucket["count"] += 1
             bucket["spans"][name] = bucket["spans"].get(name, 0.0) + dur
         elif kind == "event":
-            events[record["name"]] = events.get(record["name"], 0) + 1
+            name = record["name"]
+            events[name] = events.get(name, 0) + 1
+            if name.startswith(WORKER_EVENT_PREFIX):
+                worker_events = rollup["worker"]["events"]
+                worker_events[name] = worker_events.get(name, 0) + 1
         elif kind == "counters":
             for name, value in record["values"].items():
                 counters[name] = counters.get(name, 0) + value
@@ -166,11 +183,14 @@ def format_profile(prof: dict) -> str:
                 f"  mean {mean * 1e3:8.3f}ms"
             )
     rollup = prof.get("rollup") or {}
-    if any(bucket["count"] for bucket in rollup.values()):
+    if any(
+        bucket["count"] or bucket.get("events")
+        for bucket in rollup.values()
+    ):
         lines.append("rollup (span time by phase affiliation):")
         for key in ROLLUP_BUCKETS:
             bucket = rollup.get(key)
-            if not bucket or not bucket["count"]:
+            if not bucket or not (bucket["count"] or bucket.get("events")):
                 continue
             lines.append(
                 f"  {key}:  {bucket['total']:9.4f}s  ×{bucket['count']}"
@@ -180,6 +200,10 @@ def format_profile(prof: dict) -> str:
             ):
                 lines.append(
                     f"    {name:18s} {bucket['spans'][name]:9.4f}s"
+                )
+            for name in sorted(bucket.get("events") or {}):
+                lines.append(
+                    f"    {name:18s} ×{bucket['events'][name]}"
                 )
     if prof["events"]:
         lines.append("events:")

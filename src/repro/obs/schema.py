@@ -14,7 +14,13 @@ carrying the schema version (``"v"``) and a record kind (``"t"``):
     reconciles span totals with ``result.timers``.
 ``event``
     A point-in-time record: ``name``, ``span`` (enclosing span id or
-    null), ``at`` (seconds since epoch) and ``fields``.
+    null), ``at`` (seconds since epoch) and ``fields``.  Event names are
+    free-form; the ``worker.`` prefix (:data:`WORKER_EVENT_PREFIX`) is
+    reserved for branch-supervision decisions
+    (:mod:`repro.resilience.supervisor`) — ``worker.crash``,
+    ``worker.timeout``, ``worker.retry``, ``worker.degrade``,
+    ``worker.rebuild``, ``worker.fault`` — which ``repro trace`` rolls
+    up into the profile's ``worker`` bucket.
 ``counters``
     Accumulated totals, written once when the tracer closes: ``values``
     mapping counter name to number.
@@ -37,6 +43,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "RECORD_KINDS",
     "PHASE_KEYS",
+    "WORKER_EVENT_PREFIX",
     "validate_record",
     "validate_trace_lines",
 ]
@@ -49,6 +56,9 @@ RECORD_KINDS = ("meta", "span", "event", "counters")
 
 #: The paper's per-phase accounting keys a phase span may be tagged with.
 PHASE_KEYS = ("CTime", "ITime", "RTime", "PTime")
+
+#: Event-name prefix reserved for worker-supervision decisions.
+WORKER_EVENT_PREFIX = "worker."
 
 #: kind → {key: allowed types}; every key is required, no extras allowed.
 _SHAPES = {

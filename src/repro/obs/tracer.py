@@ -118,6 +118,17 @@ class Span:
         owner = self.tracer
         return owner.span(name, **fields)
 
+    def record(self, name: str, dur: float, **fields) -> None:
+        """Emit a pre-timed child span under this span.
+
+        For work whose wall-clock was measured elsewhere — a branch that
+        ran in a pool worker reports its phase-timer totals back, and the
+        parent records them here as synthetic spans (``worker.phase``,
+        tagged with the phase key) so traced ``workers=N`` runs still
+        reconcile span totals against ``result.timers``.
+        """
+        self.tracer.record_span(name, dur, parent=self.id, **fields)
+
 
 class Tracer:
     """Span/event/counter recorder writing JSONL records to a sink.
@@ -208,6 +219,31 @@ class Tracer:
         parent = self._stack[-1].id if self._stack else None
         self._emit_event(parent, name, fields)
 
+    def record_span(self, name: str, dur: float, *, parent=None, **fields):
+        """Emit a finished span whose duration was measured elsewhere.
+
+        The record is stamped as ending *now* (``t0 = now - dur``), under
+        ``parent`` (default: the innermost open span).  Used to splice
+        worker-measured branch timings into the parent's span tree.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        if parent is None and self._stack:
+            parent = self._stack[-1].id
+        now = self._now()
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "t": "span",
+                "id": span_id,
+                "parent": parent,
+                "name": name,
+                "t0": max(0.0, now - dur),
+                "dur": dur,
+                "fields": _jsonable(fields),
+            }
+        )
+
     def counter(self, name: str, inc=1) -> None:
         """Accumulate ``inc`` into counter ``name``."""
         self.counters[name] = self.counters.get(name, 0) + inc
@@ -262,6 +298,9 @@ class NullSpan:
     def child(self, name: str, **fields) -> "NullSpan":
         return self
 
+    def record(self, name: str, dur: float, **fields) -> None:
+        pass
+
 
 #: Shared null span: also what ``NULL.span(...)`` returns, so phase
 #: boundaries can write ``with trc.span(...) as sp:`` unconditionally.
@@ -285,6 +324,9 @@ class NullTracer:
         return NULL_SPAN
 
     def event(self, name: str, **fields) -> None:
+        pass
+
+    def record_span(self, name: str, dur: float, *, parent=None, **fields):
         pass
 
     def counter(self, name: str, inc=1) -> None:

@@ -28,19 +28,20 @@ from repro.analysis.sanitize import sanitizer
 from repro.core.multilevel import bisect as ml_bisect
 from repro.core.options import DEFAULT_OPTIONS
 from repro.graph.components import connected_components, extract_subgraph
+from repro.obs.tracer import NULL as NULL_TRACER
 from repro.obs.tracer import NULL_SPAN, resolve_tracer
 from repro.ordering.base import Ordering
 from repro.ordering.mmd import mmd_ordering
 from repro.ordering.vertex_cover import vertex_separator_from_bisection
 from repro.perf.workers import (
-    BranchDispatch,
-    branch_executor,
     fan_depth_for,
+    resolve_worker_timeout,
     resolve_workers,
 )
 from repro.resilience.deadline import DeadlineGuard
-from repro.resilience.faults import fault_injector
+from repro.resilience.faults import fault_injector, worker_faults_only
 from repro.resilience.report import ResilienceReport
+from repro.resilience.supervisor import BranchSupervisor
 from repro.utils.errors import DeadlineExceededError, ReproError, SanitizerError
 from repro.utils.rng import as_generator, spawn_child
 
@@ -78,16 +79,12 @@ def mlnd_ordering(
         ).bisection.where
 
     # MLND's bisector is reconstructible from picklable state (just the
-    # options), so its subtrees can run in pool workers — clean path only,
-    # same gating as k-way ``partition``.  Generic/SND dissections pass an
-    # arbitrary closure and always run sequentially.
+    # options), so its subtrees can run in supervised pool workers — same
+    # gating as k-way ``partition``: only a fault spec naming in-process
+    # phase sites forces sequential execution.  Generic/SND dissections
+    # pass an arbitrary closure and always run sequentially.
     branch_job = None
-    if (
-        resolve_workers(options) > 1
-        and not faults
-        and guard is None
-        and not trc
-    ):
+    if resolve_workers(options) > 1 and worker_faults_only(faults):
         branch_job = partial(
             _mlnd_branch_job,
             options=options,
@@ -99,20 +96,25 @@ def mlnd_ordering(
         return nested_dissection_ordering(
             graph, bisector, rng, leaf_size=leaf_size, method="mlnd",
             refine_separator=refine_separator, options=options, report=report,
-            guard=guard, tracer=trc, branch_job=branch_job,
+            guard=guard, tracer=trc, branch_job=branch_job, faults=faults,
         )
     finally:
         if owned_trace:
             trc.close()
 
 
-def _mlnd_branch_job(sub, rng, *, options, leaf_size, refine_separator):
+def _mlnd_branch_job(sub, rng, *, options, leaf_size, refine_separator,
+                     guard=None):
     """Dissect one MLND subtree in a pool worker.
 
-    Rebuilds the multilevel bisector from ``options`` (only reached on the
-    clean path: injector off, no guard, tracing off) and returns the
+    Rebuilds the multilevel bisector from ``options`` and returns the
     subtree's local permutation plus its resilience events for the parent
-    to merge.
+    to merge.  Tracing is explicitly off (a pool worker must not resolve
+    the ambient trace target and race the parent for the sink).  ``guard``
+    is only passed by the supervisor's sequential fallback, which runs
+    this in the *parent* process under the remaining deadline budget;
+    pool submissions never carry one — their time budget is enforced
+    parent-side via future timeouts.
     """
     report = ResilienceReport()
     faults = fault_injector(options)
@@ -121,11 +123,12 @@ def _mlnd_branch_job(sub, rng, *, options, leaf_size, refine_separator):
     def bisector(subgraph, child_rng):
         return ml_bisect(
             subgraph, options, child_rng, faults=faults, report=report,
+            guard=guard, tracer=NULL_TRACER,
         ).bisection.where
 
     perm = np.empty(sub.nvtxs, dtype=np.int64)
     _dissect(sub, bisector, rng, perm, leaf_size, refine_separator,
-             san, report, None, NULL_SPAN)
+             san, report, guard, NULL_SPAN)
     return perm, report
 
 
@@ -142,6 +145,7 @@ def nested_dissection_ordering(
     guard=None,
     tracer=None,
     branch_job=None,
+    faults=None,
 ) -> Ordering:
     """Generic nested-dissection driver.
 
@@ -177,10 +181,18 @@ def nested_dissection_ordering(
         nested under it.
     branch_job:
         Optional *picklable* callable ``(subgraph, rng) → (perm, report)``
-        dissecting one subtree in a pool worker.  When provided and the
-        resolved worker count exceeds 1, the driver fans independent
-        subtrees across a ``ProcessPoolExecutor``; per-entry pre-spawned
-        RNGs make the permutation bit-identical to the sequential run.
+        dissecting one subtree in a pool worker (it must also accept a
+        ``guard`` keyword for the supervisor's sequential fallback).  When
+        provided and the resolved worker count exceeds 1, the driver fans
+        independent subtrees across a supervised process pool
+        (:class:`~repro.resilience.supervisor.BranchSupervisor`): waits
+        are bounded by ``worker_timeout`` and the remaining deadline
+        budget, crashed or hung workers are retried and finally demoted
+        to in-process execution.  Per-entry pre-spawned RNGs make the
+        permutation bit-identical to the sequential run.
+    faults:
+        Optional fault injector; the supervisor consults its ``worker_*``
+        sites at submission time.
 
     Returns
     -------
@@ -198,8 +210,18 @@ def nested_dissection_ordering(
     try:
         with trc.span("dissect", method=method) as sp:
             if branch_job is not None and workers > 1:
-                with branch_executor(workers) as pool:
-                    par = BranchDispatch(pool, fan_depth_for(workers))
+                with BranchSupervisor(
+                    workers,
+                    fan_depth=fan_depth_for(workers),
+                    timeout=resolve_worker_timeout(options),
+                    guard=guard,
+                    max_retries=(
+                        2 if options is None else options.worker_retries
+                    ),
+                    report=report,
+                    span=sp,
+                    faults=faults,
+                ) as par:
                     _dissect(
                         graph, bisector, rng, perm, leaf_size,
                         refine_separator, san, report, guard, sp,
@@ -249,7 +271,14 @@ def _dissect(graph, bisector, rng, perm, leaf_size, refine_separator, san,
             leaf = mmd_ordering(sub)
             perm[lo:hi] = vmap[leaf.perm]
             continue
-        if par is not None and depth >= par.fan_depth:
+        if (
+            par is not None
+            and depth >= par.fan_depth
+            and (guard is None or not guard.expired())
+        ):
+            # Workers receive no guard object; the supervisor bounds their
+            # wall-clock parent-side.  Once the budget is gone, subtrees
+            # fall through to the MMD degradation below instead.
             par.submit(branch_job, sub, sub_rng, meta=(vmap, lo, hi))
             continue
 

@@ -4,7 +4,10 @@
   the independent subgraph branches of recursive bisection and nested
   dissection across processes (``MultilevelOptions.workers`` /
   ``REPRO_WORKERS`` / ``--workers``), with per-branch child RNGs seeded so
-  ``workers=N`` is bit-identical to ``workers=1``.
+  ``workers=N`` is bit-identical to ``workers=1``.  Branch jobs run under
+  the supervised runtime in :mod:`repro.resilience.supervisor` (per-branch
+  timeouts via ``worker_timeout`` / ``REPRO_WORKER_TIMEOUT``, crash
+  recovery, deadline propagation).
 * :mod:`repro.perf.matching_vec` — back-compat shim: the vectorized
   matching kernel now lives in the :mod:`repro.kernels` registry (the
   ``vectorized`` backend), selected with ``options.kernels`` /
@@ -19,11 +22,19 @@ never changes a partition vector, cut value or ordering permutation.
 """
 
 from repro.kernels import vectorized_matching
-from repro.perf.workers import branch_executor, fan_depth_for, resolve_workers
+from repro.perf.workers import (
+    BranchDispatch,
+    branch_executor,
+    fan_depth_for,
+    resolve_worker_timeout,
+    resolve_workers,
+)
 
 __all__ = [
     "vectorized_matching",
     "resolve_workers",
+    "resolve_worker_timeout",
     "fan_depth_for",
     "branch_executor",
+    "BranchDispatch",
 ]

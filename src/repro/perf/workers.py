@@ -14,15 +14,26 @@ single bit of the result.  This module holds the shared plumbing:
   least ``workers`` independent branch jobs exist;
 * :func:`branch_executor` — a ``ProcessPoolExecutor`` on the cheapest
   start method the platform offers;
+* :func:`resolve_worker_timeout` — ``options.worker_timeout`` falling
+  back to the ``REPRO_WORKER_TIMEOUT`` environment variable, defaulting
+  to ``None`` (no per-branch timeout);
 * :class:`BranchDispatch` — collects submitted branch futures so drivers
   can merge child results (assignments, phase timers, resilience events)
   in deterministic submission order.
 
-Parallel fan-out is only engaged on the *clean* path — no tracer, no
-fault injector, no deadline guard, no caller-supplied bisector closure —
-because those carry process-local state (an open trace sink, injector
-countdowns, unpicklable closures).  The drivers fall back to sequential
-execution in those configurations; results are identical either way.
+The drivers no longer dispatch through a bare pool: branch jobs run under
+the supervised runtime in :mod:`repro.resilience.supervisor`, which slices
+time budgets from the deadline guard, retries crashed or hung workers and
+degrades stubborn branches to in-process sequential execution.
+:func:`branch_executor` and :class:`BranchDispatch` remain the unmanaged
+building blocks (the supervisor composes the former; the latter is kept
+for callers that want raw fan-out without supervision).
+
+Only two configurations still force the drivers sequential: a
+caller-supplied bisector closure (unpicklable) and a fault spec naming
+in-process phase sites (injector countdowns are process-local state; see
+:func:`repro.resilience.faults.worker_faults_only`).  Results are
+identical either way.
 """
 
 from __future__ import annotations
@@ -35,6 +46,9 @@ from repro.utils.errors import ConfigurationError
 
 #: Environment variable consulted when ``options.workers`` is unset.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable consulted when ``options.worker_timeout`` is unset.
+WORKER_TIMEOUT_ENV = "REPRO_WORKER_TIMEOUT"
 
 
 def resolve_workers(options=None) -> int:
@@ -53,6 +67,26 @@ def resolve_workers(options=None) -> int:
     if workers < 1:
         raise ConfigurationError(f"{WORKERS_ENV} must be >= 1, got {workers}")
     return workers
+
+
+def resolve_worker_timeout(options=None):
+    """Per-branch timeout: option field, else ``REPRO_WORKER_TIMEOUT``, else None."""
+    if options is not None and getattr(options, "worker_timeout", None) is not None:
+        return float(options.worker_timeout)
+    raw = os.environ.get(WORKER_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKER_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    if timeout <= 0:
+        raise ConfigurationError(
+            f"{WORKER_TIMEOUT_ENV} must be positive, got {timeout}"
+        )
+    return timeout
 
 
 def fan_depth_for(workers: int) -> int:
@@ -111,7 +145,9 @@ class BranchDispatch:
 
 __all__ = [
     "WORKERS_ENV",
+    "WORKER_TIMEOUT_ENV",
     "resolve_workers",
+    "resolve_worker_timeout",
     "fan_depth_for",
     "branch_executor",
     "BranchDispatch",

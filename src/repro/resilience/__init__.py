@@ -13,15 +13,21 @@ that engineering for :mod:`repro`:
   :class:`~repro.utils.errors.DeadlineExceededError` carrying the best
   bisection found so far;
 * **the audit trail** (:mod:`repro.resilience.report`) — every fallback,
-  retry and degradation that fired, attached to the result object.
+  retry and degradation that fired, attached to the result object;
+* **worker supervision** (:mod:`repro.resilience.supervisor`) — the
+  process-pool branch runtime of ``workers=N`` runs: per-branch time
+  budgets sliced from the deadline guard, crash/hang recovery with a
+  deterministic retry ladder, and degradation to bit-identical in-process
+  sequential execution.
 
 See ``docs/RESILIENCE.md`` for the fault-spec grammar, the fallback chain
-table, and deadline semantics.
+table, deadline semantics, and the worker-supervision contract.
 """
 
 from repro.resilience.deadline import DeadlineGuard
 from repro.resilience.faults import (
     FAULT_SITES,
+    WORKER_FAULT_SITES,
     FaultClause,
     FaultInjector,
     FaultPlan,
@@ -29,12 +35,15 @@ from repro.resilience.faults import (
     fault_injector,
     faults_enabled,
     parse_fault_spec,
+    worker_faults_only,
 )
 from repro.resilience.report import EVENT_KINDS, ResilienceEvent, ResilienceReport
+from repro.resilience.supervisor import BranchSupervisor
 
 __all__ = [
     "DeadlineGuard",
     "FAULT_SITES",
+    "WORKER_FAULT_SITES",
     "FaultClause",
     "FaultPlan",
     "FaultInjector",
@@ -42,7 +51,9 @@ __all__ = [
     "fault_injector",
     "faults_enabled",
     "parse_fault_spec",
+    "worker_faults_only",
     "EVENT_KINDS",
     "ResilienceEvent",
     "ResilienceReport",
+    "BranchSupervisor",
 ]

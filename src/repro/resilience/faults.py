@@ -25,6 +25,22 @@ Fault sites
 ``deadline``
     The deadline guard expires at the next checkpoint (only consulted when
     a deadline is configured) — exercises best-so-far recovery.
+``worker_crash``
+    A branch shipped to a pool worker dies mid-flight (the worker process
+    exits hard, breaking the pool) — exercises the supervisor's
+    pool-rebuild + retry ladder (:mod:`repro.resilience.supervisor`).
+``worker_hang``
+    A pool worker stops making progress — exercises the parent-side
+    future timeout and the retry-then-sequential degradation.
+``worker_slow``
+    A pool worker is slowed (but finishes) — exercises timeout tuning
+    without breaking the pool.
+
+The ``worker_*`` sites are consulted in the *parent* process, at pool
+submission time, so a fault spec stays deterministic regardless of how
+the OS schedules the workers.  Unlike the phase sites they do not force
+sequential execution — they exist precisely to exercise the parallel
+path (see :func:`worker_faults_only`).
 
 Spec grammar
 ------------
@@ -33,6 +49,7 @@ Clauses separated by ``;`` or ``,``::
     spec   := clause ((";" | ",") clause)*
     clause := site [":" count] ["@" prob]  |  "seed=" int
     site   := "lanczos" | "matching" | "initial" | "refine" | "deadline"
+            | "worker_crash" | "worker_hang" | "worker_slow"
     count  := positive int | "*"            (times to fire; default 1)
     prob   := float in (0, 1]               (per-consultation; default 1)
 
@@ -60,6 +77,7 @@ from repro.utils.rng import as_generator
 
 __all__ = [
     "FAULT_SITES",
+    "WORKER_FAULT_SITES",
     "FaultClause",
     "FaultPlan",
     "FaultInjector",
@@ -67,17 +85,33 @@ __all__ = [
     "parse_fault_spec",
     "fault_injector",
     "faults_enabled",
+    "worker_faults_only",
     "NULL",
 ]
 
 #: Environment variable holding the ambient fault spec.
 ENV_VAR = "REPRO_FAULTS"
 
-#: The injectable phase-boundary sites.
-FAULT_SITES = ("lanczos", "matching", "initial", "refine", "deadline")
+#: The injectable sites: the in-process phase boundaries plus the
+#: parent-side worker-supervision sites.
+FAULT_SITES = (
+    "lanczos",
+    "matching",
+    "initial",
+    "refine",
+    "deadline",
+    "worker_crash",
+    "worker_hang",
+    "worker_slow",
+)
+
+#: The sites consulted by the branch supervisor in the parent process.
+#: These do not carry per-branch process-local state, so a spec made of
+#: worker sites only is compatible with process-parallel fan-out.
+WORKER_FAULT_SITES = frozenset({"worker_crash", "worker_hang", "worker_slow"})
 
 _CLAUSE_RE = re.compile(
-    r"^(?P<site>[a-z]+)(?::(?P<count>\*|\d+))?(?:@(?P<prob>[0-9.eE+-]+))?$"
+    r"^(?P<site>[a-z_]+)(?::(?P<count>\*|\d+))?(?:@(?P<prob>[0-9.eE+-]+))?$"
 )
 
 
@@ -219,6 +253,24 @@ class NullFaultInjector:
 
 #: Shared null singleton handed out by :func:`fault_injector` when off.
 NULL = NullFaultInjector()
+
+
+def worker_faults_only(faults) -> bool:
+    """True when ``faults`` does not require sequential execution.
+
+    The phase sites (``lanczos`` … ``deadline``) consult injector state
+    inside the recursion, which cannot be shared with pool workers, so
+    any spec containing one forces the drivers sequential.  A falsy
+    injector, or one whose clauses are all ``worker_*`` sites (consulted
+    only in the parent, at submission time), is safe to combine with
+    process-parallel fan-out.
+    """
+    if not faults:
+        return True
+    plan = getattr(faults, "plan", None)
+    if plan is None:
+        return False
+    return all(site in WORKER_FAULT_SITES for site in plan.clauses)
 
 
 def faults_enabled() -> str | None:

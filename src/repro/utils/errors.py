@@ -3,11 +3,35 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch everything the library may raise with a single ``except`` clause while
 still letting programming errors (``TypeError`` etc.) propagate.
+
+Every class in the hierarchy pickles round-trip, whatever its constructor
+signature — :class:`ReproError` defines ``__reduce__`` in terms of
+``__new__`` plus instance state, so subclasses with required keyword-only
+parameters (:class:`SanitizerError`, :class:`DeadlineExceededError`) survive
+the result pipe of a ``ProcessPoolExecutor`` intact.  Lint rule RP018
+enforces the same property structurally for everything reachable from a
+pool submit site.
 """
+
+
+def _rebuild_error(cls, args, state):
+    """Reconstruct a :class:`ReproError` from its pickled pieces.
+
+    Bypasses ``__init__`` (whose signature may demand keyword-only
+    arguments the default ``Exception.__reduce__`` cannot supply) and
+    restores ``args`` and the instance ``__dict__`` directly.
+    """
+    exc = cls.__new__(cls)
+    exc.args = args
+    exc.__dict__.update(state)
+    return exc
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, dict(self.__dict__)))
 
 
 class GraphValidationError(ReproError):

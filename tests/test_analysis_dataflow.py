@@ -1,4 +1,4 @@
-"""Tests for the whole-program dataflow checkers (RP012 … RP017).
+"""Tests for the whole-program dataflow checkers (RP012 … RP018).
 
 One positive (seeded synthetic violation) and one negative (blessed
 idiom) fixture per rule, plus the PR-4 regression demonstration: deleting
@@ -552,6 +552,145 @@ class TestRP017KernelHygiene:
                 [REPO_ROOT / "src" / "repro"], paper=REPO_ROOT / "PAPER.md"
             )
             if f.rule_id == "RP017"
+        ]
+        assert findings == [], format_findings(findings)
+
+
+class TestRP018WorkerException:
+    _DRIVER = (
+        "def drive(par, graph):\n"
+        "    par.submit(_branch_job, graph)\n"
+    )
+
+    def test_unpicklable_exception_fires_with_trace(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/core/jobs.py": (
+                    "class BranchError(Exception):\n"
+                    "    def __init__(self, msg, *, phase):\n"
+                    "        super().__init__(msg)\n"
+                    "        self.phase = phase\n"
+                    "\n"
+                    "\n"
+                    "def _branch_job(graph):\n"
+                    "    if graph is None:\n"
+                    "        raise BranchError('no graph', phase='submit')\n"
+                    "    return graph\n"
+                    "\n"
+                    "\n" + self._DRIVER
+                ),
+            },
+            select="RP018",
+        )
+        assert len(findings) == 1
+        assert "'phase'" in findings[0].message
+        assert "__reduce__" in findings[0].message
+        assert findings[0].trace == ("drive", "_branch_job")
+
+    def test_reduce_in_base_chain_is_clean(self, tmp_path):
+        # Mirrors repro.utils.errors: the base defines __reduce__, so a
+        # subclass with required keyword-only parameters pickles fine.
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/core/jobs.py": (
+                    "class BaseError(Exception):\n"
+                    "    def __reduce__(self):\n"
+                    "        return (type(self), self.args)\n"
+                    "\n"
+                    "\n"
+                    "class BranchError(BaseError):\n"
+                    "    def __init__(self, msg, *, phase):\n"
+                    "        super().__init__(msg)\n"
+                    "        self.phase = phase\n"
+                    "\n"
+                    "\n"
+                    "def _branch_job(graph):\n"
+                    "    if graph is None:\n"
+                    "        raise BranchError('no graph', phase='submit')\n"
+                    "    return graph\n"
+                    "\n"
+                    "\n" + self._DRIVER
+                ),
+            },
+            select="RP018",
+        )
+        assert findings == []
+
+    def test_builtin_raise_in_worker_code_fires(self, tmp_path):
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/core/jobs.py": (
+                    "def _branch_job(graph):\n"
+                    "    if graph is None:\n"
+                    "        raise ValueError('no graph')\n"
+                    "    return graph\n"
+                    "\n"
+                    "\n" + self._DRIVER
+                ),
+            },
+            select="RP018",
+        )
+        assert len(findings) == 1
+        assert "builtin ValueError" in findings[0].message
+
+    def test_positional_only_exception_is_clean(self, tmp_path):
+        # Plain message-style exceptions round-trip through the default
+        # Exception reduction; only required keyword-only params break it.
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/core/jobs.py": (
+                    "class BranchError(Exception):\n"
+                    "    def __init__(self, msg, phase=None):\n"
+                    "        super().__init__(msg)\n"
+                    "        self.phase = phase\n"
+                    "\n"
+                    "\n"
+                    "def _branch_job(graph):\n"
+                    "    if graph is None:\n"
+                    "        raise BranchError('no graph')\n"
+                    "    return graph\n"
+                    "\n"
+                    "\n" + self._DRIVER
+                ),
+            },
+            select="RP018",
+        )
+        assert findings == []
+
+    def test_non_worker_code_is_not_policed(self, tmp_path):
+        # The same raise outside the worker-reachable set is RP005's
+        # business (builtin) but never RP018's.
+        findings = _lint(
+            tmp_path,
+            {
+                "pkg/core/jobs.py": (
+                    "class BranchError(Exception):\n"
+                    "    def __init__(self, msg, *, phase):\n"
+                    "        super().__init__(msg)\n"
+                    "        self.phase = phase\n"
+                    "\n"
+                    "\n"
+                    "def sequential(graph):\n"
+                    "    if graph is None:\n"
+                    "        raise BranchError('no graph', phase='seq')\n"
+                    "    return graph\n"
+                ),
+            },
+            select="RP018",
+        )
+        assert findings == []
+
+    def test_shipped_worker_set_is_exception_clean(self):
+        findings = [
+            f
+            for f in lint_paths(
+                [REPO_ROOT / "src" / "repro"], paper=REPO_ROOT / "PAPER.md"
+            )
+            if f.rule_id == "RP018"
         ]
         assert findings == [], format_findings(findings)
 

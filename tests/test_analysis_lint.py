@@ -279,6 +279,6 @@ class TestShippedTree:
         )
         assert findings == [], format_findings(findings)
 
-    def test_default_rules_cover_rp001_to_rp016(self):
+    def test_default_rules_cover_rp001_to_rp018(self):
         ids = [r.id for r in default_rules()]
-        assert ids == [f"RP{i:03d}" for i in range(1, 18)]
+        assert ids == [f"RP{i:03d}" for i in range(1, 19)]

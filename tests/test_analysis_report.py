@@ -56,7 +56,7 @@ class TestSarif:
         run = doc["runs"][0]
         assert run["tool"]["driver"]["name"] == "repro-lint"
         rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
-        assert rule_ids == [f"RP{i:03d}" for i in range(1, 18)]
+        assert rule_ids == [f"RP{i:03d}" for i in range(1, 19)]
         result = run["results"][0]
         assert result["ruleId"] == "RP006"
         region = result["locations"][0]["physicalLocation"]["region"]
@@ -234,7 +234,7 @@ class TestCliFormats:
 class TestRuleTableDocs:
     def test_table_lists_every_rule(self):
         table = rules_markdown_table()
-        for i in range(1, 18):
+        for i in range(1, 19):
             assert f"RP{i:03d}" in table
 
     def test_docs_table_matches_generator(self):

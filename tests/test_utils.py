@@ -125,6 +125,42 @@ class TestOptions:
         assert o.matching is MatchingScheme.RM
 
 
+class TestErrorPickling:
+    """ReproError subclasses must survive the pool result pipe (RP018).
+
+    The concurrent.futures result pipe pickles worker exceptions; the
+    default reduction re-calls ``cls(*args)`` and explodes on required
+    keyword-only parameters, so ``ReproError.__reduce__`` rebuilds
+    instances from ``__dict__`` instead.
+    """
+
+    def test_sanitizer_error_round_trips(self):
+        import pickle
+
+        from repro.utils.errors import SanitizerError
+
+        err = SanitizerError("ghost vertex", phase="separator", level=3)
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is SanitizerError
+        assert str(clone) == str(err)
+        assert clone.phase == "separator"
+        assert clone.level == 3
+
+    def test_deadline_error_round_trips(self):
+        import pickle
+
+        from repro.utils.errors import DeadlineExceededError
+
+        err = DeadlineExceededError(
+            "budget exhausted", deadline=1.0, elapsed=2.5, phase="refine"
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is DeadlineExceededError
+        assert clone.deadline == 1.0
+        assert clone.elapsed == 2.5
+        assert clone.phase == "refine"
+
+
 class TestTopLevelApi:
     def test_bisect_wrapper(self, grid8):
         r = repro.bisect(grid8, seed=1, matching="rm")
