@@ -11,6 +11,8 @@ Subcommands mirror what the METIS binaries of the era offered:
 * ``lint [PATHS]`` — run the repo's AST lint pass (see docs/ANALYSIS.md);
 * ``trace FILE`` — pretty-print the profile of a JSONL trace written with
   ``--trace`` / ``REPRO_TRACE`` (see docs/OBSERVABILITY.md);
+* ``serve`` — run the partitioning service: an HTTP/JSON API with a
+  content-addressed result cache (see docs/SERVICE.md);
 * ``bench-diff OLD NEW`` — compare two ``BENCH_<table>.json`` snapshots
   and flag per-cell regressions (see docs/PERFORMANCE.md).
 """
@@ -220,6 +222,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help=(
+            "run the partitioning service: HTTP/JSON API with a "
+            "content-addressed result cache (docs/SERVICE.md)"
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8157, help="bind port (default 8157)")
+    p.add_argument(
+        "--cache-size", type=int, default=128, metavar="N",
+        help="result-cache capacity in entries; 0 disables caching (default 128)",
+    )
+    p.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="seconds a cached result stays servable (default: no expiry)",
+    )
+    p.add_argument(
+        "--queue-workers", type=int, default=2, metavar="N",
+        help="concurrently running jobs (default 2)",
+    )
+    p.add_argument(
+        "--backlog", type=int, default=16, metavar="N",
+        help="jobs allowed to wait beyond the running ones; past that the "
+             "service answers 503 (default 16)",
+    )
+    p.add_argument(
+        "--max-body", type=int, default=64 << 20, metavar="BYTES",
+        help="request-body cap; larger posts answer 413 (default 64 MiB)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="service JSONL trace target ('-' for stdout); falls back to "
+             "REPRO_TRACE (see docs/OBSERVABILITY.md)",
+    )
+
+    p = sub.add_parser(
         "bench-diff",
         help=(
             "compare two BENCH_<table>.json snapshots (files or "
@@ -274,6 +312,8 @@ def main(argv=None) -> int:
         return run_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench-diff":
         return _cmd_bench_diff(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -383,6 +423,29 @@ def _cmd_trace(args) -> int:
         print(json.dumps(prof, indent=2, sort_keys=True))
     else:
         print(format_profile(prof))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    print(
+        f"repro service listening on http://{args.host}:{args.port} "
+        f"(cache {args.cache_size} entries"
+        + (f", ttl {args.cache_ttl:g}s" if args.cache_ttl else "")
+        + f"; {args.queue_workers} workers, backlog {args.backlog})"
+    )
+    print("POST /partition | POST /order | GET /healthz | GET /stats | DELETE /cache")
+    serve(
+        args.host,
+        args.port,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        queue_workers=args.queue_workers,
+        backlog=args.backlog,
+        max_body=args.max_body,
+        trace=args.trace,
+    )
     return 0
 
 

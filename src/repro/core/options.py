@@ -13,6 +13,7 @@ paper's chosen default:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from enum import Enum
 
@@ -240,3 +241,60 @@ class MultilevelOptions:
 
 #: The paper's recommended configuration (HEM + GGGP + BKLGR).
 DEFAULT_OPTIONS = MultilevelOptions()
+
+
+#: Option fields that determine the *bits* of a partitioning result.
+#: Everything else — ``workers`` / ``worker_timeout`` / ``worker_retries``
+#: (bit-identical by construction), ``trace`` and ``sanitize`` (observers) —
+#: is deliberately excluded, so a cached result can serve requests that
+#: differ only in how the answer would have been computed or observed.
+CACHE_KEY_FIELDS = (
+    "matching",
+    "initial",
+    "refinement",
+    "coarsen_to",
+    "coarsen_stall_ratio",
+    "max_coarsen_levels",
+    "ggp_trials",
+    "gggp_trials",
+    "kl_early_exit",
+    "max_kl_passes",
+    "ubfactor",
+    "bklgr_boundary_fraction",
+    "eager_gains",
+    "gain_table",
+    "matching_impl",
+    "seed",
+    "deadline",
+    "max_init_retries",
+)
+
+
+def cache_key_payload(options: MultilevelOptions) -> dict:
+    """Stable, JSON-able serialization of the partition-relevant options.
+
+    This is the options half of the content-addressed result-cache key
+    (:mod:`repro.service.cache`): two options objects map to the same
+    payload exactly when they are guaranteed to produce bit-identical
+    partitions on the same graph.  Fields that defer to environment
+    variables (``kernels`` → ``REPRO_KERNELS``, ``faults`` →
+    ``REPRO_FAULTS``) are resolved here, because the ambient value changes
+    the result bits just as surely as the explicit one.  Enum fields
+    serialize as their string values; key order is fixed by
+    :data:`CACHE_KEY_FIELDS`.
+    """
+    payload = {}
+    for name in CACHE_KEY_FIELDS:
+        value = getattr(options, name)
+        if isinstance(value, Enum):
+            value = value.value
+        payload[name] = value
+    kernels = options.kernels
+    if kernels is None:
+        kernels = os.environ.get("REPRO_KERNELS", "").strip() or None
+    payload["kernels"] = kernels
+    faults = options.faults
+    if faults is None:
+        faults = os.environ.get("REPRO_FAULTS", "").strip() or None
+    payload["faults"] = faults
+    return payload

@@ -25,6 +25,7 @@ from repro.obs.schema import (
     PHASE_KEYS,
     RECORD_KINDS,
     SCHEMA_VERSION,
+    SERVICE_EVENT_PREFIX,
     WORKER_EVENT_PREFIX,
     validate_record,
     validate_trace_lines,
@@ -59,6 +60,7 @@ __all__ = [
     "RECORD_KINDS",
     "PHASE_KEYS",
     "WORKER_EVENT_PREFIX",
+    "SERVICE_EVENT_PREFIX",
     "validate_record",
     "validate_trace_lines",
     "read_trace",

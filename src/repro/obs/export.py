@@ -23,6 +23,7 @@ from datetime import datetime, timezone
 
 from repro.obs.schema import (
     PHASE_KEYS,
+    SERVICE_EVENT_PREFIX,
     WORKER_EVENT_PREFIX,
     validate_trace_lines,
 )
@@ -66,12 +67,14 @@ SPAN_PHASES = {
 }
 
 #: Rollup bucket order: the paper's phase keys, then driver, then the
-#: branch-supervision bucket, then other.  (Synthetic ``worker.phase``
-#: spans are phase-tagged and land in the phase buckets — they carry the
-#: pool workers' CTime/ITime/RTime/PTime back into the reconciliation;
-#: the ``worker`` bucket holds supervision itself: demoted sequential
-#: re-runs and the ``worker.*`` decision events.)
-ROLLUP_BUCKETS = (*PHASE_KEYS, "driver", "worker", "other")
+#: branch-supervision bucket, then the service bucket, then other.
+#: (Synthetic ``worker.phase`` / ``job.phase`` spans are phase-tagged and
+#: land in the phase buckets — they carry pool workers' and service jobs'
+#: CTime/ITime/RTime/PTime back into the reconciliation; the ``worker``
+#: bucket holds supervision itself — demoted sequential re-runs and the
+#: ``worker.*`` decision events — and the ``service`` bucket holds the
+#: partitioning service's request accounting and cache decisions.)
+ROLLUP_BUCKETS = (*PHASE_KEYS, "driver", "worker", "service", "other")
 
 
 def _rollup_bucket(name: str, fields: dict) -> str:
@@ -138,6 +141,9 @@ def profile(records) -> dict:
             if name.startswith(WORKER_EVENT_PREFIX):
                 worker_events = rollup["worker"]["events"]
                 worker_events[name] = worker_events.get(name, 0) + 1
+            elif name.startswith(SERVICE_EVENT_PREFIX):
+                service_events = rollup["service"]["events"]
+                service_events[name] = service_events.get(name, 0) + 1
         elif kind == "counters":
             for name, value in record["values"].items():
                 counters[name] = counters.get(name, 0) + value

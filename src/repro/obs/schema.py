@@ -20,7 +20,16 @@ carrying the schema version (``"v"``) and a record kind (``"t"``):
     (:mod:`repro.resilience.supervisor`) — ``worker.crash``,
     ``worker.timeout``, ``worker.retry``, ``worker.degrade``,
     ``worker.rebuild``, ``worker.fault`` — which ``repro trace`` rolls
-    up into the profile's ``worker`` bucket.
+    up into the profile's ``worker`` bucket.  The ``service.`` prefix
+    (:data:`SERVICE_EVENT_PREFIX`) is reserved for the partitioning
+    service (:mod:`repro.service`) — ``service.request``,
+    ``service.cache.hit``, ``service.cache.miss``,
+    ``service.cache.evict``, ``service.cache.expire``,
+    ``service.job.run``, ``service.job.rejected`` — rolled up into the
+    profile's ``service`` bucket.  Fresh (non-cached) service jobs also
+    splice their phase wall-clock back as ``job.phase`` spans tagged
+    with the phase key, the same device the branch supervisor uses for
+    ``worker.phase``.
 ``counters``
     Accumulated totals, written once when the tracer closes: ``values``
     mapping counter name to number.
@@ -44,6 +53,7 @@ __all__ = [
     "RECORD_KINDS",
     "PHASE_KEYS",
     "WORKER_EVENT_PREFIX",
+    "SERVICE_EVENT_PREFIX",
     "validate_record",
     "validate_trace_lines",
 ]
@@ -59,6 +69,10 @@ PHASE_KEYS = ("CTime", "ITime", "RTime", "PTime")
 
 #: Event-name prefix reserved for worker-supervision decisions.
 WORKER_EVENT_PREFIX = "worker."
+
+#: Event-name prefix reserved for the partitioning service
+#: (:mod:`repro.service`): request accounting and result-cache decisions.
+SERVICE_EVENT_PREFIX = "service."
 
 #: kind → {key: allowed types}; every key is required, no extras allowed.
 _SHAPES = {

@@ -1,0 +1,52 @@
+"""repro.service — partitioning-as-a-service over the multilevel library.
+
+See ``docs/SERVICE.md`` for the full story.  In one paragraph: a small
+asyncio HTTP/JSON server (:mod:`repro.service.app`) accepts a graph —
+inline CSR arrays or a named :mod:`repro.matrices` workload — plus
+:class:`~repro.core.options.MultilevelOptions` fields, runs the job on an
+admission-bounded thread pool (:mod:`repro.service.jobs`), and answers
+with the partition/ordering, timers, kernel selection and the run's
+:class:`~repro.resilience.report.ResilienceReport`.  In front sits a
+content-addressed result cache (:mod:`repro.service.cache`): the key is a
+SHA-256 over the canonical CSR bytes plus the stable options
+serialization from :func:`repro.core.options.cache_key_payload`, so a
+repeated request is served bit-identically without re-running the
+partitioner.  Cache and job decisions surface as ``service.*`` trace
+events in the schema of :mod:`repro.obs`.
+"""
+
+from repro.service.app import BackgroundServer, PartitionService, serve
+from repro.service.cache import (
+    ResultCache,
+    graph_digest,
+    request_key,
+    where_digest,
+)
+from repro.service.jobs import JobQueue
+from repro.service.schema import (
+    ORDER_METHODS,
+    ServiceRequestError,
+    graph_from_request,
+    ordering_response,
+    parse_options,
+    partition_response,
+    resilience_payload,
+)
+
+__all__ = [
+    "PartitionService",
+    "BackgroundServer",
+    "serve",
+    "ResultCache",
+    "graph_digest",
+    "request_key",
+    "where_digest",
+    "JobQueue",
+    "ServiceRequestError",
+    "ORDER_METHODS",
+    "parse_options",
+    "graph_from_request",
+    "resilience_payload",
+    "partition_response",
+    "ordering_response",
+]

@@ -1,0 +1,109 @@
+"""Bounded job execution for the partitioning service.
+
+Partitioning is CPU-bound library code; the HTTP layer is an asyncio event
+loop.  :class:`JobQueue` bridges the two: jobs run on a fixed-size thread
+pool (each job may itself fan branches across a *process* pool via
+``options.workers`` — the :class:`~repro.resilience.supervisor.
+BranchSupervisor` semantics are unchanged inside a job), and admission is
+bounded — at most ``workers`` jobs running plus ``backlog`` waiting.  A
+request arriving past that bound is rejected immediately with a 503
+(:class:`~repro.service.schema.ServiceRequestError`), which is the
+degradation a saturated service owes its callers: a fast "try again"
+instead of an unbounded queue that converts overload into timeouts.
+
+Per-request deadlines ride inside the job itself: ``options.deadline``
+makes :func:`repro.core.kway.partition` and the orderings degrade and
+return a best-effort result rather than overrun, so the queue never needs
+to kill a job to honour a deadline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.schema import ServiceRequestError
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Admission-bounded thread-pool job runner for the service.
+
+    Parameters
+    ----------
+    workers:
+        Concurrently *running* jobs (thread-pool size).
+    backlog:
+        Jobs allowed to wait for a thread beyond the running ones;
+        admission past ``workers + backlog`` raises a 503.
+    """
+
+    def __init__(self, workers: int = 2, backlog: int = 16):
+        if workers < 1:
+            raise ServiceRequestError(
+                f"job queue needs at least one worker, got {workers}"
+            )
+        if backlog < 0:
+            raise ServiceRequestError(f"backlog must be >= 0, got {backlog}")
+        self.workers = workers
+        self.backlog = backlog
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._pending = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+
+    async def run(self, fn, *args):
+        """Run ``fn(*args)`` on the pool; await and return its result.
+
+        Raises
+        ------
+        ServiceRequestError
+            With status 503 when the queue is saturated.  Exceptions the
+            job raises propagate unchanged.
+        """
+        with self._lock:
+            if self._pending >= self.workers + self.backlog:
+                self.rejected += 1
+                raise ServiceRequestError(
+                    f"job queue saturated ({self._pending} jobs pending); "
+                    "try again shortly",
+                    status=503,
+                )
+            self._pending += 1
+            self.submitted += 1
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(self._pool, lambda: fn(*args))
+        except Exception:
+            with self._lock:
+                self._pending -= 1
+                self.failed += 1
+            raise
+        with self._lock:
+            self._pending -= 1
+            self.completed += 1
+        return result
+
+    def stats(self) -> dict:
+        """Occupancy and outcome counters, JSON-ready for ``/stats``."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "backlog": self.backlog,
+                "pending": self._pending,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+            }
+
+    def shutdown(self) -> None:
+        """Stop accepting work and release the pool threads."""
+        self._pool.shutdown(wait=True, cancel_futures=True)

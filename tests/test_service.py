@@ -1,0 +1,613 @@
+"""Tests for the partitioning service (``repro.service``).
+
+Covers the content-addressed cache (keys, LRU, TTL — with a fake clock),
+the request/response schema, the bounded job queue, and the HTTP layer end
+to end over real sockets: cache-hit bit-identity against a fresh in-process
+run, single-flight coalescing under concurrent fan-in, deadline-exceeded
+degradation (200 + resilience report, never a 500), ndjson progress
+streaming, and the ``service.*`` trace events/counters the app emits.
+
+The HTTP tests run against a :class:`~repro.service.app.BackgroundServer`
+on an ephemeral port; they are written to pass unchanged under the chaos CI
+leg (``REPRO_FAULTS="worker_crash;seed=1"`` only fires inside pool workers,
+which only the explicit ``workers: 2`` test engages — and the library's
+bit-identity guarantee is exactly what that test asserts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import partition as local_partition
+from repro.core.options import DEFAULT_OPTIONS, cache_key_payload
+from repro.obs import read_trace
+from repro.service import (
+    BackgroundServer,
+    JobQueue,
+    ResultCache,
+    ServiceRequestError,
+    graph_digest,
+    graph_from_request,
+    parse_options,
+    request_key,
+    where_digest,
+)
+from repro.utils.errors import ConfigurationError
+from tests.conftest import dumbbell_graph, path_graph
+
+
+# --------------------------------------------------------------------------
+# HTTP helpers
+# --------------------------------------------------------------------------
+def _request(addr, method, path, body=None):
+    """One JSON request; returns (status, decoded-payload)."""
+    host, port = addr
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _stream_request(addr, body):
+    """POST with ``stream: true`` over a raw socket; returns ndjson dicts."""
+    raw = json.dumps({**body, "stream": True}).encode()
+    with socket.create_connection(addr, timeout=60) as sock:
+        sock.sendall(
+            b"POST /partition HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(raw)}\r\n\r\n".encode()
+            + raw
+        )
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    head, _, payload = data.partition(b"\r\n\r\n")
+    assert b"200" in head.split(b"\r\n", 1)[0]
+    assert b"application/x-ndjson" in head
+    return [json.loads(line) for line in payload.strip().split(b"\n")]
+
+
+def _inline(graph) -> dict:
+    """A CSRGraph as the service's inline-graph request object."""
+    return {
+        "xadj": graph.xadj.tolist(),
+        "adjncy": graph.adjncy.tolist(),
+        "adjwgt": graph.adjwgt.tolist(),
+        "vwgt": graph.vwgt.tolist(),
+    }
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A traced BackgroundServer on an ephemeral port."""
+    srv = BackgroundServer(trace=str(tmp_path / "service.jsonl"))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _trace_records(srv: BackgroundServer, tmp_path):
+    """Stop the server (flushes counters) and read its trace back."""
+    srv.stop()
+    return read_trace(str(tmp_path / "service.jsonl"))
+
+
+# --------------------------------------------------------------------------
+# ResultCache (fake clock)
+# --------------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestResultCache:
+    def test_roundtrip_and_miss(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        seen = []
+        cache = ResultCache(
+            maxsize=4, ttl=10.0, clock=clock,
+            on_event=lambda name, **f: seen.append((name, f["key"])),
+        )
+        cache.put("k", 1)
+        clock.now = 9.0
+        assert cache.get("k") == 1
+        clock.now = 20.0
+        assert cache.get("k") is None
+        assert cache.stats()["expirations"] == 1
+        assert ("expire", "k") in seen
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = ResultCache(maxsize=4, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.now = 3.0
+        cache.put("b", 2)
+        clock.now = 6.0
+        assert cache.purge_expired() == 1
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_lru_eviction_order(self):
+        seen = []
+        cache = ResultCache(
+            maxsize=2, on_event=lambda name, **f: seen.append((name, f["key"]))
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a (least recently used)
+        assert "a" not in cache
+        assert seen == [("evict", "a")]
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # a becomes most-recent
+        cache.put("c", 3)  # so b is the victim
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(maxsize=0)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(maxsize=-1)
+        with pytest.raises(ConfigurationError):
+            ResultCache(ttl=0)
+
+
+# --------------------------------------------------------------------------
+# Content addressing
+# --------------------------------------------------------------------------
+class TestKeys:
+    def test_graph_digest_stable_and_content_sensitive(self):
+        g1, g2 = path_graph(6), path_graph(6)
+        assert graph_digest(g1) == graph_digest(g2)
+        assert graph_digest(g1) != graph_digest(path_graph(7))
+        weighted = path_graph(6, weights=[2, 1, 1, 1, 1])
+        assert graph_digest(g1) != graph_digest(weighted)
+
+    def test_request_key_covers_parameters(self):
+        g = path_graph(6)
+        base = {"options": cache_key_payload(DEFAULT_OPTIONS), "nparts": 2}
+        k1 = request_key("partition", g, base)
+        assert k1 == request_key("partition", g, dict(base))
+        assert k1 != request_key("order", g, base)
+        assert k1 != request_key("partition", g, {**base, "nparts": 3})
+
+    def test_cache_key_payload_excludes_execution_knobs(self):
+        """workers/timeouts don't change result bits; seed does."""
+        base = cache_key_payload(DEFAULT_OPTIONS)
+        pooled = cache_key_payload(
+            DEFAULT_OPTIONS.with_(workers=4, worker_timeout=1.0)
+        )
+        assert base == pooled
+        assert base != cache_key_payload(DEFAULT_OPTIONS.with_(seed=99))
+        assert base != cache_key_payload(DEFAULT_OPTIONS.with_(deadline=5.0))
+        assert "workers" not in base
+        assert "trace" not in base
+
+    def test_cache_key_payload_resolves_kernel_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        assert cache_key_payload(DEFAULT_OPTIONS)["kernels"] is None
+        monkeypatch.setenv("REPRO_KERNELS", "vectorized")
+        assert cache_key_payload(DEFAULT_OPTIONS)["kernels"] == "vectorized"
+        explicit = cache_key_payload(DEFAULT_OPTIONS.with_(kernels="loop"))
+        assert explicit["kernels"] == "loop"
+
+    def test_payload_is_json_stable(self):
+        p1 = cache_key_payload(DEFAULT_OPTIONS)
+        p2 = cache_key_payload(DEFAULT_OPTIONS.with_())
+        assert json.dumps(p1, sort_keys=True) == json.dumps(p2, sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# Request schema
+# --------------------------------------------------------------------------
+class TestSchema:
+    def test_parse_options_rejects_unknown_fields(self):
+        with pytest.raises(ServiceRequestError, match="unknown option"):
+            parse_options({"matchign": "hem"})
+
+    def test_parse_options_rejects_trace(self):
+        with pytest.raises(ServiceRequestError, match="unknown option"):
+            parse_options({"trace": "/tmp/x.jsonl"})
+
+    def test_parse_options_maps_invalid_values_to_400(self):
+        exc = pytest.raises(
+            ServiceRequestError, parse_options, {"deadline": -1}
+        )
+        assert exc.value.status == 400
+
+    def test_graph_needs_exactly_one_source(self):
+        with pytest.raises(ServiceRequestError, match="exactly one"):
+            graph_from_request({})
+        with pytest.raises(ServiceRequestError, match="exactly one"):
+            graph_from_request(
+                {"graph": {}, "workload": {"name": "4ELT"}}
+            )
+
+    def test_inline_graph_missing_arrays(self):
+        with pytest.raises(ServiceRequestError, match="missing 'adjncy'"):
+            graph_from_request({"graph": {"xadj": [0]}})
+
+    def test_unknown_workload_is_404(self):
+        exc = pytest.raises(
+            ServiceRequestError,
+            graph_from_request,
+            {"workload": {"name": "NOPE"}},
+        )
+        assert exc.value.status == 404
+
+
+# --------------------------------------------------------------------------
+# Job queue
+# --------------------------------------------------------------------------
+class TestJobQueue:
+    def test_saturation_rejects_with_503(self):
+        async def main():
+            queue = JobQueue(workers=1, backlog=0)
+            release = threading.Event()
+            first = asyncio.ensure_future(queue.run(release.wait, 30))
+            await asyncio.sleep(0.05)  # let the first job occupy the pool
+            with pytest.raises(ServiceRequestError) as exc:
+                await queue.run(lambda: None)
+            assert exc.value.status == 503
+            release.set()
+            assert await first is True
+            stats = queue.stats()
+            assert stats["rejected"] == 1
+            assert stats["completed"] == 1
+            queue.shutdown()
+
+        asyncio.run(main())
+
+    def test_job_exceptions_propagate(self):
+        async def main():
+            queue = JobQueue(workers=1)
+
+            def boom():
+                raise RuntimeError("kaput")
+
+            with pytest.raises(RuntimeError, match="kaput"):
+                await queue.run(boom)
+            assert queue.stats()["failed"] == 1
+            queue.shutdown()
+
+        asyncio.run(main())
+
+    def test_bad_parameters(self):
+        with pytest.raises(ServiceRequestError):
+            JobQueue(workers=0)
+        with pytest.raises(ServiceRequestError):
+            JobQueue(backlog=-1)
+
+
+# --------------------------------------------------------------------------
+# HTTP end to end
+# --------------------------------------------------------------------------
+class TestEndpoints:
+    def test_healthz_and_stats(self, server):
+        status, body = _request(server.address, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, body = _request(server.address, "GET", "/stats")
+        assert status == 200
+        assert body["cache"]["maxsize"] == 128
+        assert body["queue"]["workers"] == 2
+        assert body["inflight"] == 0
+
+    def test_partition_inline_graph(self, server):
+        g = dumbbell_graph()
+        status, body = _request(
+            server.address, "POST", "/partition",
+            {"graph": _inline(g), "nparts": 2, "options": {"seed": 7}},
+        )
+        assert status == 200
+        assert body["kind"] == "partition"
+        assert body["cached"] is False
+        assert body["cut"] == 1  # the dumbbell bridge
+        assert sorted(body["pwgts"]) and len(body["where"]) == g.nvtxs
+        assert body["where_sha256"] == where_digest(
+            np.asarray(body["where"], dtype=np.int32)
+        )
+
+    def test_partition_named_workload(self, server):
+        status, body = _request(
+            server.address, "POST", "/partition",
+            {"workload": {"name": "4ELT", "scale": 0.02, "seed": 0},
+             "nparts": 4},
+        )
+        assert status == 200
+        assert body["nparts"] == 4
+        assert len(set(body["where"])) == 4
+        assert body["timers"]  # phase timers came back
+
+    def test_order_endpoint(self, server):
+        g = dumbbell_graph()
+        status, body = _request(
+            server.address, "POST", "/order",
+            {"graph": _inline(g), "method": "mmd"},
+        )
+        assert status == 200
+        assert body["kind"] == "order" and body["method"] == "mmd"
+        perm = body["perm"]
+        assert sorted(perm) == list(range(g.nvtxs))
+        iperm = body["iperm"]
+        assert all(iperm[perm[i]] == i for i in range(g.nvtxs))
+        status, again = _request(
+            server.address, "POST", "/order",
+            {"graph": _inline(g), "method": "mmd"},
+        )
+        assert again["cached"] is True
+        assert again["perm"] == perm
+
+    def test_error_mapping(self, server):
+        addr = server.address
+        g = _inline(path_graph(4))
+        cases = [
+            ("GET", "/nope", None, 404),
+            ("POST", "/healthz", None, 405),
+            ("GET", "/partition", None, 405),
+            ("POST", "/partition", {"nparts": 2}, 400),  # no graph
+            ("POST", "/partition", {"graph": g, "nparts": 9}, 400),
+            ("POST", "/partition", {"graph": g, "nparts": 0}, 400),
+            ("POST", "/partition",
+             {"graph": g, "nparts": 2, "options": {"bogus": 1}}, 400),
+            ("POST", "/partition",
+             {"graph": {"xadj": [0, 5], "adjncy": [1]}, "nparts": 1}, 400),
+            ("POST", "/partition",
+             {"workload": {"name": "NOPE"}, "nparts": 2}, 404),
+            ("POST", "/order", {"graph": g, "method": "amd"}, 400),
+        ]
+        for method, path, body, expected in cases:
+            status, payload = _request(addr, method, path, body)
+            assert status == expected, (method, path, payload)
+            assert "error" in payload
+
+    def test_invalid_json_body_is_400(self, server):
+        host, port = server.address
+        raw = b"{not json"
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /partition HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(raw)}\r\n\r\n".encode() + raw
+            )
+            data = sock.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+        assert b"invalid JSON" in data
+
+    def test_cache_clear_endpoint(self, server):
+        body = {"graph": _inline(path_graph(6)), "nparts": 2}
+        _request(server.address, "POST", "/partition", body)
+        status, cleared = _request(server.address, "DELETE", "/cache")
+        assert status == 200 and cleared["cleared"] == 1
+        _, again = _request(server.address, "POST", "/partition", body)
+        assert again["cached"] is False
+
+
+class TestCaching:
+    def test_cache_hit_is_bit_identical_and_traced(self, tmp_path):
+        """The acceptance scenario: repeat request -> cache hit, same bits,
+        no partitioner phase spans for the hit, counters in the trace."""
+        g = dumbbell_graph()
+        body = {
+            "graph": _inline(g), "nparts": 2, "options": {"seed": 7},
+        }
+        srv = BackgroundServer(trace=str(tmp_path / "service.jsonl"))
+        srv.start()
+        try:
+            _, fresh = _request(srv.address, "POST", "/partition", body)
+            _, hit1 = _request(srv.address, "POST", "/partition", body)
+            _, hit2 = _request(srv.address, "POST", "/partition", body)
+        finally:
+            records = _trace_records(srv, tmp_path)
+
+        assert fresh["cached"] is False
+        assert hit1["cached"] is True and hit2["cached"] is True
+        for hit in (hit1, hit2):
+            assert hit["where"] == fresh["where"]
+            assert hit["where_sha256"] == fresh["where_sha256"]
+            assert hit["cut"] == fresh["cut"]
+            assert hit["key"] == fresh["key"]
+
+        # Bit-identity against a fresh in-process run, not just replay.
+        local = local_partition(g, 2, DEFAULT_OPTIONS.with_(seed=7))
+        assert fresh["where"] == [int(p) for p in local.where]
+        assert fresh["where_sha256"] == where_digest(local.where)
+        assert fresh["cut"] == int(local.cut)
+
+        # Trace: one job ran; the two hits re-ran nothing.
+        events = [r for r in records if r.get("t") == "event"]
+        assert sum(e["name"] == "service.job.run" for e in events) == 1
+        assert sum(e["name"] == "service.cache.miss" for e in events) == 1
+        assert sum(e["name"] == "service.cache.hit" for e in events) == 2
+        phase_spans = [
+            r for r in records
+            if r.get("t") == "span" and r.get("name") == "job.phase"
+        ]
+        assert 1 <= len(phase_spans) <= 4  # one run's worth, not three
+        counters = [r for r in records if r.get("t") == "counters"]
+        assert counters, "tracer close flushes the counters record"
+        values = counters[-1]["values"]
+        assert values["service.cache.hits"] == 2
+        assert values["service.cache.misses"] == 1
+        assert values["service.job.runs"] == 1
+
+    def test_different_options_miss(self, server):
+        g = _inline(path_graph(8))
+        _, a = _request(
+            server.address, "POST", "/partition",
+            {"graph": g, "nparts": 2, "options": {"seed": 1}},
+        )
+        _, b = _request(
+            server.address, "POST", "/partition",
+            {"graph": g, "nparts": 2, "options": {"seed": 2}},
+        )
+        assert a["key"] != b["key"]
+        assert b["cached"] is False
+
+    def test_concurrent_fan_in_single_flight(self, tmp_path):
+        """N identical concurrent requests compute the result once."""
+        body = {
+            "workload": {"name": "4ELT", "scale": 0.05, "seed": 1},
+            "nparts": 4, "options": {"seed": 13},
+        }
+        srv = BackgroundServer(trace=str(tmp_path / "service.jsonl"))
+        srv.start()
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(_request(srv.address, "POST", "/partition", body))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            records = _trace_records(srv, tmp_path)
+
+        assert not errors
+        assert len(results) == 8
+        digests = {payload["where_sha256"] for _, payload in results}
+        assert len(digests) == 1, "all callers saw identical bits"
+        assert all(status == 200 for status, _ in results)
+        events = [r for r in records if r.get("t") == "event"]
+        assert sum(e["name"] == "service.job.run" for e in events) == 1
+
+    def test_deadline_bypasses_cache_and_degrades(self, server):
+        """An expired deadline -> 200 + resilience trail, never cached."""
+        body = {
+            "workload": {"name": "4ELT", "scale": 0.1, "seed": 2},
+            "nparts": 8,
+            "options": {"seed": 3, "deadline": 1e-6},
+        }
+        status, first = _request(server.address, "POST", "/partition", body)
+        assert status == 200
+        assert first["cached"] is False
+        assert len(set(first["where"])) == 8  # degraded but complete
+        assert first["resilience"], "deadline degradation must be audited"
+        assert any(
+            e["kind"] == "degradation" and "deadline" in e["detail"]
+            for e in first["resilience"]
+        )
+        status, second = _request(server.address, "POST", "/partition", body)
+        assert status == 200
+        assert second["cached"] is False, "wall-clock results are not cached"
+
+    def test_pooled_request_matches_sequential_bits(self, server):
+        """workers: 2 fans branches across processes; bits must not move.
+
+        Under the chaos CI leg (REPRO_FAULTS=worker_crash) this exercises
+        supervisor crash-recovery behind the service without changing the
+        assertion.
+        """
+        status, pooled = _request(
+            server.address, "POST", "/partition",
+            {"workload": {"name": "4ELT", "scale": 0.05, "seed": 4},
+             "nparts": 4, "options": {"seed": 17, "workers": 2}},
+        )
+        assert status == 200
+        from repro.matrices import suite
+
+        g = suite.load("4ELT", scale=0.05, seed=4)
+        local = local_partition(
+            g, 4, DEFAULT_OPTIONS.with_(seed=17, workers=1)
+        )
+        assert pooled["where"] == [int(p) for p in local.where]
+        assert pooled["cut"] == int(local.cut)
+
+
+class TestStreaming:
+    def test_stream_yields_progress_then_result(self, server):
+        body = {
+            "workload": {"name": "4ELT", "scale": 0.05, "seed": 6},
+            "nparts": 4, "options": {"seed": 19},
+        }
+        lines = _stream_request(server.address, body)
+        assert lines[0]["t"] == "accepted" and lines[0]["cached"] is False
+        assert lines[-1]["t"] == "result"
+        progress = [l for l in lines if l["t"] == "progress"]
+        assert progress, "a fresh job streams its trace records"
+        kinds = {p["record"].get("t") for p in progress}
+        assert "span" in kinds
+        result = lines[-1]["result"]
+        assert result["cached"] is False
+        assert len(set(result["where"])) == 4
+
+        # The streamed job populated the cache: a JSON request hits.
+        status, hit = _request(
+            server.address, "POST", "/partition",
+            {k: v for k, v in body.items()},
+        )
+        assert status == 200 and hit["cached"] is True
+        assert hit["where_sha256"] == result["where_sha256"]
+
+    def test_stream_cache_hit_short_circuits(self, server):
+        body = {"graph": _inline(dumbbell_graph()), "nparts": 2}
+        _request(server.address, "POST", "/partition", body)
+        lines = _stream_request(server.address, body)
+        assert lines[0] == {
+            "t": "accepted", "key": lines[0]["key"], "cached": True,
+        }
+        assert [l["t"] for l in lines] == ["accepted", "result"]
+        assert lines[-1]["result"]["cached"] is True
+
+    def test_stream_prepare_error_is_plain_400(self, server):
+        """Malformed streaming requests fail before the 200 header."""
+        raw = json.dumps(
+            {"workload": {"name": "4ELT", "scale": 0.02}, "nparts": 10_000,
+             "stream": True}
+        ).encode()
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /partition HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(raw)}\r\n\r\n".encode() + raw
+            )
+            data = sock.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
